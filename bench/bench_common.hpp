@@ -1,0 +1,54 @@
+#pragma once
+/// Shared printing/checking helpers for the figure benches. Each bench
+/// regenerates one table or figure of the paper: it prints the same series
+/// the paper plots (from the calibrated performance model) and checks the
+/// qualitative shape the paper reports, exiting nonzero on a shape failure.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sched/sweeps.hpp"
+
+namespace bench {
+
+inline bool g_pass = true;
+
+inline void check(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    g_pass = g_pass && ok;
+}
+
+inline int verdict(const char* figure) {
+    std::printf("%s SHAPE: %s\n", figure, g_pass ? "PASS" : "FAIL");
+    return g_pass ? 0 : 1;
+}
+
+/// Print one best-over-tuning series with its winning tuning parameters.
+inline void print_series(const char* label,
+                         const std::vector<advect::sched::SweepPoint>& s,
+                         bool with_box = false) {
+    std::printf("%s\n", label);
+    if (with_box)
+        std::printf("    %10s %10s %10s %6s\n", "cores", "GF", "thr/task",
+                    "box");
+    else
+        std::printf("    %10s %10s %10s\n", "cores", "GF", "thr/task");
+    for (const auto& p : s) {
+        if (with_box)
+            std::printf("    %10d %10.1f %10d %6d\n", p.cores, p.gf, p.threads,
+                        p.box);
+        else
+            std::printf("    %10d %10.1f %10d\n", p.cores, p.gf, p.threads);
+    }
+}
+
+/// GF of the point at the given core count (0 when absent).
+inline double gf_at(const std::vector<advect::sched::SweepPoint>& s,
+                    int cores) {
+    for (const auto& p : s)
+        if (p.cores == cores) return p.gf;
+    return 0.0;
+}
+
+}  // namespace bench

@@ -1,0 +1,60 @@
+// Fig. 10: best performance of each Yona implementation across core counts
+// (one GPU per 12 cores). Paper findings: results are "still more
+// striking" than on Lens — the GPUs are a larger fraction of Yona's
+// computational power, and the best CPU-GPU implementation is more than
+// four times the best CPU-only implementation.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::yona();
+    const auto nodes = sched::default_node_counts(m);
+
+    std::printf("== Fig. 10: Yona, best GF per implementation "
+                "(1 GPU per 12 cores) ==\n");
+    const sched::Code codes[] = {sched::Code::B, sched::Code::C,
+                                 sched::Code::D, sched::Code::F,
+                                 sched::Code::G, sched::Code::H,
+                                 sched::Code::I};
+    std::vector<std::vector<sched::SweepPoint>> series;
+    for (auto c : codes) {
+        series.push_back(sched::best_series(c, m, nodes));
+        bench::print_series(sched::code_label(c).c_str(), series.back(),
+                            c == sched::Code::H || c == sched::Code::I);
+    }
+
+    const auto& bulk = series[0];
+    const auto& overlap = series[6];
+
+    bool four_x = true;
+    for (std::size_t i = 0; i < overlap.size(); ++i) {
+        const double best_cpu =
+            std::max({series[0][i].gf, series[1][i].gf, series[2][i].gf});
+        if (overlap[i].gf < 4.0 * best_cpu) four_x = false;
+    }
+    bench::check(four_x,
+                 "best CPU-GPU more than 4x the best CPU-only performance");
+
+    bool beats_all = true;
+    for (std::size_t i = 0; i < overlap.size(); ++i)
+        for (std::size_t s = 0; s < series.size() - 1; ++s)
+            if (overlap[i].gf <= series[s][i].gf) beats_all = false;
+    bench::check(beats_all,
+                 "full overlap dominates every other implementation");
+
+    bool factor_two = true;  // §VI: "by a factor of two or more" vs other
+                             // parallel GPU implementations
+    for (std::size_t i = 0; i < overlap.size(); ++i)
+        if (overlap[i].gf < 2.0 * std::max(series[3][i].gf, series[4][i].gf))
+            factor_two = false;
+    bench::check(factor_two,
+                 "full overlap >= 2x the GPU-only parallel implementations");
+
+    (void)bulk;
+    return bench::verdict("FIG 10");
+}

@@ -1,0 +1,75 @@
+// Fig. 11: the CPU-GPU overlap implementation (IV-I) on Lens for
+// combinations of threads/task and box thickness. Paper findings: the best
+// performance comes from few tasks per node, and the best box thickness
+// decreases with increasing core count (work per core decreases).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::lens();
+    const auto nodes = sched::default_node_counts(m);
+
+    std::printf("== Fig. 11: Lens CPU-GPU overlap (IV-I) by "
+                "(threads/task, box) ==\n");
+    std::printf("%10s", "cores");
+    struct Combo {
+        int threads, box;
+    };
+    std::vector<Combo> combos;
+    for (int t : m.threads_per_task_choices())
+        for (int box : advect::sched::box_choices()) combos.push_back({t, box});
+    // Print only combos that are best somewhere (as the paper's figure
+    // legend does), after scanning everything.
+    std::vector<std::vector<double>> gf(combos.size());
+    std::vector<int> best_box(nodes.size()), best_threads(nodes.size());
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        double best = -1.0;
+        for (std::size_t c = 0; c < combos.size(); ++c) {
+            const int nn[] = {nodes[ni]};
+            const double v = sched::combo_series(sched::Code::I, m, nn,
+                                                 combos[c].threads,
+                                                 combos[c].box)
+                                 .front()
+                                 .gf;
+            gf[c].push_back(v);
+            if (v > best) {
+                best = v;
+                best_box[ni] = combos[c].box;
+                best_threads[ni] = combos[c].threads;
+            }
+        }
+    }
+    std::printf("\n");
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+        std::printf("T=%-3d box=%-2d:", combos[c].threads, combos[c].box);
+        for (double v : gf[c]) std::printf(" %8.1f", v);
+        std::printf("\n");
+    }
+    std::printf("%-12s:", "cores");
+    for (int n : nodes) std::printf(" %8d", n * m.cores_per_node());
+    std::printf("\n%-12s:", "best T");
+    for (int t : best_threads) std::printf(" %8d", t);
+    std::printf("\n%-12s:", "best box");
+    for (int b : best_box) std::printf(" %8d", b);
+    std::printf("\n");
+
+    // Few tasks per node: the winning thread count is large (>= half the
+    // node's cores) at every core count.
+    bool few_tasks = true;
+    for (int t : best_threads)
+        if (t < m.cores_per_node() / 2) few_tasks = false;
+    bench::check(few_tasks, "best performance comes from few tasks per node");
+
+    bench::check(best_box.back() <= best_box.front(),
+                 "best box thickness decreases (or holds) with core count");
+    bench::check(best_box.front() >= 4,
+                 "Lens balances real load onto the CPUs (thick box at low "
+                 "core counts; its GPU is a smaller fraction of the node)");
+
+    return bench::verdict("FIG 11");
+}

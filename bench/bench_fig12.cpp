@@ -1,0 +1,84 @@
+// Fig. 12: the CPU-GPU overlap implementation (IV-I) on Yona for
+// combinations of threads/task and box thickness. Paper findings: like
+// Lens, the best performance comes from few tasks per node (often just
+// one); the best box thickness is often just 1 — a veneer of CPU points —
+// and thinner than on Lens, because Yona's GPU is a larger fraction of the
+// node's power. §V-E: load balancing is not the key feature; decoupling
+// MPI from CPU-GPU communication is.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::yona();
+    const auto lens = model::MachineSpec::lens();
+    const auto nodes = sched::default_node_counts(m);
+
+    std::printf("== Fig. 12: Yona CPU-GPU overlap (IV-I) by "
+                "(threads/task, box) ==\n");
+    struct Combo {
+        int threads, box;
+    };
+    std::vector<Combo> combos;
+    for (int t : m.threads_per_task_choices())
+        for (int box : advect::sched::box_choices()) combos.push_back({t, box});
+    std::vector<std::vector<double>> gf(combos.size());
+    std::vector<int> best_box(nodes.size()), best_threads(nodes.size());
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        double best = -1.0;
+        for (std::size_t c = 0; c < combos.size(); ++c) {
+            const int nn[] = {nodes[ni]};
+            const double v = sched::combo_series(sched::Code::I, m, nn,
+                                                 combos[c].threads,
+                                                 combos[c].box)
+                                 .front()
+                                 .gf;
+            gf[c].push_back(v);
+            if (v > best) {
+                best = v;
+                best_box[ni] = combos[c].box;
+                best_threads[ni] = combos[c].threads;
+            }
+        }
+    }
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+        std::printf("T=%-3d box=%-2d:", combos[c].threads, combos[c].box);
+        for (double v : gf[c]) std::printf(" %8.1f", v);
+        std::printf("\n");
+    }
+    std::printf("%-12s:", "cores");
+    for (int n : nodes) std::printf(" %8d", n * m.cores_per_node());
+    std::printf("\n%-12s:", "best T");
+    for (int t : best_threads) std::printf(" %8d", t);
+    std::printf("\n%-12s:", "best box");
+    for (int b : best_box) std::printf(" %8d", b);
+    std::printf("\n");
+
+    bool one_task_somewhere = false;
+    bool few_tasks = true;
+    for (int t : best_threads) {
+        if (t == m.cores_per_node()) one_task_somewhere = true;
+        if (t < m.cores_per_node() / 2) few_tasks = false;
+    }
+    bench::check(few_tasks, "best performance comes from few tasks per node");
+    bench::check(one_task_somewhere, "often just one task per node is best");
+
+    bool thin = true;
+    for (int b : best_box)
+        if (b > 3) thin = false;
+    bench::check(thin, "the CPU box is a thin veneer (thickness <= 3)");
+
+    // Thinner than Lens at scale: compare the best box at the largest
+    // common configuration.
+    const int lens_nodes[] = {16};
+    const auto lens_best =
+        sched::best_series(sched::Code::I, lens, lens_nodes).front();
+    bench::check(best_box.back() <= lens_best.box,
+                 "box thickness on Yona <= Lens (GPU a larger fraction)");
+
+    return bench::verdict("FIG 12");
+}

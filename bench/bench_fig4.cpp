@@ -1,0 +1,61 @@
+// Fig. 4: best performance of each Hopper II implementation out to 49152
+// cores. Paper findings: like JaguarPF the nonblocking-overlap
+// implementation wins slightly below some core-count limit, but that limit
+// is an order of magnitude higher than JaguarPF's (whose crossover is
+// between 4000 and 6000 cores); the OpenMP-thread overlap consistently
+// lags; Hopper II scales better than JaguarPF.
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::hopper2();
+    const auto nodes = sched::default_node_counts(m);
+
+    const auto bulk = sched::best_series(sched::Code::B, m, nodes);
+    const auto nonblocking = sched::best_series(sched::Code::C, m, nodes);
+    const auto thread_ov = sched::best_series(sched::Code::D, m, nodes);
+
+    std::printf("== Fig. 4: Hopper II (Cray XE6), best GF per implementation ==\n");
+    bench::print_series("bulk-synchronous MPI (IV-B)", bulk);
+    bench::print_series("nonblocking overlap (IV-C)", nonblocking);
+    bench::print_series("OpenMP-thread overlap (IV-D)", thread_ov);
+
+    // Crossover: the largest core count where C still effectively matches
+    // B (within 3%), compared against JaguarPF's computed the same way.
+    auto crossover_of = [](const std::vector<sched::SweepPoint>& b,
+                           const std::vector<sched::SweepPoint>& c) {
+        int cross = 0;
+        for (std::size_t i = 0; i < b.size(); ++i)
+            if (c[i].gf >= 0.97 * b[i].gf) cross = b[i].cores;
+        return cross;
+    };
+    const int hopper_cross = crossover_of(bulk, nonblocking);
+    const auto mj = model::MachineSpec::jaguarpf();
+    const auto jn = sched::default_node_counts(mj);
+    const int jaguar_cross =
+        crossover_of(sched::best_series(sched::Code::B, mj, jn),
+                     sched::best_series(sched::Code::C, mj, jn));
+    std::printf("nonblocking holds through %d cores (JaguarPF: %d)\n",
+                hopper_cross, jaguar_cross);
+    bench::check(hopper_cross >= 3 * jaguar_cross,
+                 "Hopper II overlap crossover well above JaguarPF's (paper: "
+                 "an order of magnitude)");
+
+    bool lags = true;
+    for (std::size_t i = 0; i < bulk.size(); ++i)
+        if (thread_ov[i].gf > std::max(bulk[i].gf, nonblocking[i].gf))
+            lags = false;
+    bench::check(lags, "OpenMP-thread overlap consistently lags");
+
+    bench::check(bulk.back().cores == 49152,
+                 "series extends to 49152 cores as in the paper");
+    const double eff = bulk.back().gf / bulk.front().gf /
+                       (static_cast<double>(bulk.back().cores) /
+                        bulk.front().cores);
+    bench::check(eff > 0.35, "strong scaling remains useful out to 49k cores");
+
+    return bench::verdict("FIG 4");
+}

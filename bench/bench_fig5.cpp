@@ -1,0 +1,60 @@
+// Fig. 5: bulk-synchronous implementation on JaguarPF for a range of core
+// counts and numbers of OpenMP threads per MPI task. Paper findings: each
+// of 1, 2, 3, 6, 12 threads/task is best for at least one core count, and
+// the best number generally increases with the total core count.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::jaguarpf();
+    const auto nodes = sched::default_node_counts(m);
+    const auto threads = m.threads_per_task_choices();
+
+    std::printf("== Fig. 5: JaguarPF bulk-synchronous GF by threads/task ==\n");
+    std::printf("%10s", "cores");
+    for (int t : threads) std::printf("  T=%-8d", t);
+    std::printf("%10s\n", "best T");
+
+    std::vector<int> best_at(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::printf("%10d", nodes[i] * m.cores_per_node());
+        double best = -1.0;
+        for (int t : threads) {
+            const int nn[] = {nodes[i]};
+            const double gf =
+                sched::threads_series(sched::Code::B, m, nn, t).front().gf;
+            std::printf("  %-10.1f", gf);
+            if (gf > best) {
+                best = gf;
+                best_at[i] = t;
+            }
+        }
+        std::printf("%10d\n", best_at[i]);
+    }
+
+    // The best thread count generally increases with core count
+    // (non-strictly monotone is enough for "generally").
+    int decreases = 0;
+    for (std::size_t i = 1; i < best_at.size(); ++i)
+        if (best_at[i] < best_at[i - 1]) ++decreases;
+    bench::check(decreases <= 1,
+                 "best threads/task generally increases with core count");
+    bench::check(best_at.back() >= 6,
+                 "large teams win at the highest core counts");
+    bench::check(best_at.front() <= 6,
+                 "small teams competitive at the lowest core counts");
+
+    // Different counts are best at different core counts (variability).
+    std::vector<int> uniq = best_at;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    bench::check(uniq.size() >= 2,
+                 "no single threads/task value is best everywhere");
+
+    return bench::verdict("FIG 5");
+}

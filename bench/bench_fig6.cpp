@@ -1,0 +1,54 @@
+// Fig. 6: bulk-synchronous implementation on Hopper II by threads/task.
+// Paper findings: results vary more than on JaguarPF, larger numbers of
+// threads per task are best at the highest core counts, and 24 threads per
+// task is never optimal.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::hopper2();
+    const auto nodes = sched::default_node_counts(m);
+    const auto threads = m.threads_per_task_choices();
+
+    std::printf("== Fig. 6: Hopper II bulk-synchronous GF by threads/task ==\n");
+    std::printf("%10s", "cores");
+    for (int t : threads) std::printf("  T=%-8d", t);
+    std::printf("%10s\n", "best T");
+
+    std::vector<int> best_at(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::printf("%10d", nodes[i] * m.cores_per_node());
+        double best = -1.0;
+        for (int t : threads) {
+            const int nn[] = {nodes[i]};
+            const double gf =
+                sched::threads_series(sched::Code::B, m, nn, t).front().gf;
+            std::printf("  %-10.1f", gf);
+            if (gf > best) {
+                best = gf;
+                best_at[i] = t;
+            }
+        }
+        std::printf("%10d\n", best_at[i]);
+    }
+
+    bool never24 = true;
+    for (int b : best_at)
+        if (b == 24) never24 = false;
+    bench::check(never24, "24 threads per task is never optimal");
+    bench::check(best_at.back() >= 6,
+                 "larger teams best at the highest core counts");
+
+    std::vector<int> uniq = best_at;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    bench::check(uniq.size() >= 2,
+                 "no single threads/task value is best everywhere");
+
+    return bench::verdict("FIG 6");
+}

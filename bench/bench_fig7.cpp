@@ -1,0 +1,56 @@
+// Fig. 7: GPU-resident performance on Lens (Tesla C1060) across
+// two-dimensional thread-block sizes. Paper findings: x = 32 (the warp
+// size) tends to be best; performance rises then falls in y; the paper's
+// best block is 32x11; blocks are limited to 512 threads on cc 1.3.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/gpu_cost.hpp"
+
+namespace model = advect::model;
+
+int main() {
+    const auto lens = model::MachineSpec::lens();
+    const auto& g = *lens.gpu;
+    const int xs[] = {16, 32, 64, 128};
+
+    std::printf("== Fig. 7: Lens (C1060) GPU-resident GF vs block size ==\n");
+    double best_gf = 0.0;
+    int best_x = 0, best_y = 0;
+    double best_per_x[4] = {};
+    for (int xi = 0; xi < 4; ++xi) {
+        const int bx = xs[xi];
+        std::printf("x=%d:\n", bx);
+        for (int by = 1; by <= 512 / bx + 4; ++by) {
+            if (!model::block_fits(g, bx, by)) continue;
+            const double gf = model::resident_gflops(g, 420, bx, by);
+            std::printf("    %3dx%-3d %8.1f GF\n", bx, by, gf);
+            best_per_x[xi] = std::max(best_per_x[xi], gf);
+            if (gf > best_gf) {
+                best_gf = gf;
+                best_x = bx;
+                best_y = by;
+            }
+        }
+    }
+    std::printf("model best block: %dx%d at %.1f GF (paper best: 32x11)\n",
+                best_x, best_y, best_gf);
+
+    bench::check(best_x == 32, "x = 32 (warp size) gives the best blocks");
+    bench::check(best_per_x[1] > best_per_x[0],
+                 "x=32 beats x=16 (coalescing)");
+    bench::check(best_per_x[1] > best_per_x[2] &&
+                     best_per_x[1] > best_per_x[3],
+                 "x=32 beats x=64 and x=128 (halo-thread overhead)");
+    bench::check(best_y >= 6 && best_y <= 14,
+                 "best y in the paper's neighbourhood (paper: 11)");
+
+    // Rise-then-fall in y at x = 32.
+    const double at4 = model::resident_gflops(g, 420, 32, 4);
+    const double peak = best_per_x[1];
+    bench::check(peak > 1.05 * at4, "performance rises from small y");
+
+    return bench::verdict("FIG 7");
+}

@@ -1,0 +1,53 @@
+// Fig. 8: GPU-resident performance on Yona (Tesla C2050) across block
+// sizes. Paper findings: best x is again 32, with a slightly smaller best
+// y than Lens (32x8); the best GPU-resident performance on Yona is 86 GF;
+// cc 2.0 supports blocks up to 1024 threads.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/gpu_cost.hpp"
+
+namespace model = advect::model;
+
+int main() {
+    const auto yona = model::MachineSpec::yona();
+    const auto& g = *yona.gpu;
+    const int xs[] = {16, 32, 64, 128};
+
+    std::printf("== Fig. 8: Yona (C2050) GPU-resident GF vs block size ==\n");
+    double best_gf = 0.0;
+    int best_x = 0, best_y = 0;
+    double best_per_x[4] = {};
+    for (int xi = 0; xi < 4; ++xi) {
+        const int bx = xs[xi];
+        std::printf("x=%d:\n", bx);
+        for (int by = 1; by <= 1024 / bx + 4; ++by) {
+            if (!model::block_fits(g, bx, by)) continue;
+            const double gf = model::resident_gflops(g, 420, bx, by);
+            std::printf("    %3dx%-3d %8.1f GF\n", bx, by, gf);
+            best_per_x[xi] = std::max(best_per_x[xi], gf);
+            if (gf > best_gf) {
+                best_gf = gf;
+                best_x = bx;
+                best_y = by;
+            }
+        }
+    }
+    std::printf("model best block: %dx%d at %.1f GF (paper: 32x8 at 86 GF)\n",
+                best_x, best_y, best_gf);
+
+    bench::check(best_x == 32, "x = 32 (warp size) gives the best blocks");
+    bench::check(best_per_x[1] > best_per_x[0], "x=32 beats x=16");
+    bench::check(best_per_x[1] > best_per_x[2] &&
+                     best_per_x[1] > best_per_x[3],
+                 "x=32 beats x=64 and x=128");
+    bench::check(best_gf > 0.85 * 86.0 && best_gf < 1.15 * 86.0,
+                 "peak within 15% of the paper's 86 GF");
+    const double at_paper_block = model::resident_gflops(g, 420, 32, 8);
+    bench::check(at_paper_block > 0.9 * best_gf,
+                 "paper's 32x8 block within 10% of the model's best");
+
+    return bench::verdict("FIG 8");
+}

@@ -1,0 +1,77 @@
+// Fig. 9: best performance of each Lens implementation across core counts
+// (one GPU per 16 cores). Paper findings: CPU-only implementations benefit
+// little from overlap; GPU implementations benefit greatly, particularly
+// the full-overlap case (IV-I); the best CPU-GPU performance exceeds the
+// sum of the best CPU-only performance plus the best GPU-computation
+// performance.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main() {
+    const auto m = model::MachineSpec::lens();
+    const auto nodes = sched::default_node_counts(m);
+
+    std::printf("== Fig. 9: Lens, best GF per implementation "
+                "(1 GPU per 16 cores) ==\n");
+    const sched::Code codes[] = {sched::Code::B, sched::Code::C,
+                                 sched::Code::D, sched::Code::F,
+                                 sched::Code::G, sched::Code::H,
+                                 sched::Code::I};
+    std::vector<std::vector<sched::SweepPoint>> series;
+    for (auto c : codes) {
+        series.push_back(sched::best_series(c, m, nodes));
+        bench::print_series(sched::code_label(c).c_str(), series.back(),
+                            c == sched::Code::H || c == sched::Code::I);
+    }
+
+    const auto& bulk = series[0];
+    const auto& nonblocking = series[1];
+    const auto& gpu_bulk = series[3];
+    const auto& gpu_streams = series[4];
+    const auto& cpu_gpu_bulk = series[5];
+    const auto& overlap = series[6];
+
+    // CPU-only implementations benefit little from overlap on Lens.
+    bool cpu_overlap_small = true;
+    for (std::size_t i = 0; i < bulk.size(); ++i)
+        if (nonblocking[i].gf > 1.05 * bulk[i].gf) cpu_overlap_small = false;
+    bench::check(cpu_overlap_small,
+                 "CPU-only overlap improves performance little or none");
+
+    // GPU implementations benefit greatly from overlap.
+    bool gpu_overlap_big = true;
+    for (std::size_t i = 0; i < overlap.size(); ++i) {
+        if (overlap[i].gf < 1.5 * gpu_bulk[i].gf) gpu_overlap_big = false;
+        if (gpu_streams[i].gf <= gpu_bulk[i].gf) gpu_overlap_big = false;
+    }
+    bench::check(gpu_overlap_big,
+                 "GPU implementations benefit greatly from overlap "
+                 "(I > 1.5x F; G > F)");
+
+    // Full overlap exceeds best CPU-only + best GPU-computation sum
+    // (within noise at every point; strictly at most points).
+    bool near_sum = true;
+    std::size_t strictly = 0;
+    for (std::size_t i = 0; i < overlap.size(); ++i) {
+        const double best_cpu =
+            std::max({bulk[i].gf, nonblocking[i].gf, series[2][i].gf});
+        const double best_gpu = std::max(gpu_bulk[i].gf, gpu_streams[i].gf);
+        if (overlap[i].gf < 0.98 * (best_cpu + best_gpu)) near_sum = false;
+        if (overlap[i].gf >= best_cpu + best_gpu) ++strictly;
+    }
+    bench::check(near_sum && 2 * strictly > overlap.size(),
+                 "best CPU-GPU exceeds best-CPU-only + best-GPU-computation");
+
+    // Full overlap also beats the bulk CPU-GPU variant.
+    bool beats_h = true;
+    for (std::size_t i = 0; i < overlap.size(); ++i)
+        if (overlap[i].gf <= cpu_gpu_bulk[i].gf) beats_h = false;
+    bench::check(beats_h, "full overlap (IV-I) beats bulk CPU+GPU (IV-H)");
+
+    return bench::verdict("FIG 9");
+}

@@ -1,0 +1,50 @@
+// Table I: the 27 Lax-Wendroff coefficients a_ijk of Equation 2. Prints
+// the literal Table I formulas next to the tensor-product construction for
+// a sample velocity and nu, verifies they agree, and checks the structural
+// identities (constants preserved, first moment = c*nu, exact shift at
+// unit Courant number).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/coefficients.hpp"
+
+namespace core = advect::core;
+
+int main() {
+    const core::Velocity3 c{1.0, 0.5, 0.25};
+    const double nu = core::max_stable_nu(c);
+    const auto lit = core::table1_coeffs(c, nu);
+    const auto ten = core::tensor_product_coeffs(c, nu);
+
+    std::printf("== Table I: a_ijk for c=(%.2f, %.2f, %.2f), nu=%.3f ==\n",
+                c.cx, c.cy, c.cz, nu);
+    std::printf("%8s %22s %22s\n", "(i,j,k)", "Table I literal",
+                "tensor product");
+    double max_diff = 0.0;
+    for (int dk = -1; dk <= 1; ++dk)
+        for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di) {
+                const double a = lit.at(di, dj, dk);
+                const double b = ten.at(di, dj, dk);
+                std::printf("(%2d,%2d,%2d) %22.15e %22.15e\n", di, dj, dk, a,
+                            b);
+                max_diff = std::max(max_diff, std::fabs(a - b));
+            }
+    std::printf("max |literal - tensor| = %.3e\n", max_diff);
+    std::printf("coefficient sum (literal) = %.15f\n", lit.sum());
+
+    bench::check(max_diff < 1e-14, "Table I formulas == tensor product");
+    bench::check(std::fabs(lit.sum() - 1.0) < 1e-12,
+                 "coefficients sum to 1 (constants preserved)");
+
+    // Unit Courant number: exact one-cell diagonal shift.
+    const auto unit = core::tensor_product_coeffs({1, 1, 1}, 1.0);
+    bench::check(unit.at(-1, -1, -1) == 1.0 && unit.at(0, 0, 0) == 0.0,
+                 "exact shift at c*nu = 1");
+    bench::check(core::kFlopsPerPoint == 53,
+                 "53 flops per point (27 multiplies + 26 adds)");
+
+    return bench::verdict("TABLE 1");
+}

@@ -1,0 +1,83 @@
+// Table II: technical details of the four tested computers, plus the
+// calibrated effective rates our performance model layers on top (the
+// paper's table holds only published hardware facts; the calibration is
+// documented in EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/machine.hpp"
+
+namespace model = advect::model;
+
+int main() {
+    const model::MachineSpec machines[] = {
+        model::MachineSpec::jaguarpf(), model::MachineSpec::hopper2(),
+        model::MachineSpec::lens(), model::MachineSpec::yona()};
+
+    std::printf("== Table II: technical details of tested computers ==\n");
+    std::printf("%-28s", "System");
+    for (const auto& m : machines) std::printf(" %-26s", m.name.c_str());
+    std::printf("\n");
+    auto row = [&](const char* label, auto getter) {
+        std::printf("%-28s", label);
+        for (const auto& m : machines) getter(m);
+        std::printf("\n");
+    };
+    row("Compute nodes", [](const auto& m) { std::printf(" %-26d", m.nodes); });
+    row("Memory per node (GB)",
+        [](const auto& m) { std::printf(" %-26d", m.memory_per_node_gb); });
+    row("Opteron sockets per node",
+        [](const auto& m) { std::printf(" %-26d", m.sockets_per_node); });
+    row("Cores per socket",
+        [](const auto& m) { std::printf(" %-26d", m.cores_per_socket); });
+    row("Opteron clock (GHz)",
+        [](const auto& m) { std::printf(" %-26.1f", m.clock_ghz); });
+    row("Interconnect",
+        [](const auto& m) { std::printf(" %-26s", m.interconnect.c_str()); });
+    row("MPI", [](const auto& m) { std::printf(" %-26s", m.mpi_name.c_str()); });
+    row("NVIDIA Tesla GPU", [](const auto& m) {
+        std::printf(" %-26s", m.gpu ? m.gpu->props.name.c_str() : "-");
+    });
+    row("GPU memory (GB)", [](const auto& m) {
+        if (m.gpu)
+            std::printf(" %-26lld",
+                        static_cast<long long>(m.gpu->props.global_mem_bytes >>
+                                               30));
+        else
+            std::printf(" %-26s", "-");
+    });
+    std::printf("\ncalibrated rates (model layer):\n");
+    row("core stencil GF",
+        [](const auto& m) { std::printf(" %-26.2f", m.core_gf); });
+    row("socket mem BW (GB/s)",
+        [](const auto& m) { std::printf(" %-26.1f", m.socket_bw_gbs); });
+    row("net alpha (us)",
+        [](const auto& m) { std::printf(" %-26.1f", m.net_alpha_us); });
+    row("net BW (GB/s)",
+        [](const auto& m) { std::printf(" %-26.1f", m.net_bw_gbs); });
+    row("MPI progress fraction",
+        [](const auto& m) { std::printf(" %-26.2f", m.mpi_progress); });
+
+    // Verify the Table II facts.
+    const auto& j = machines[0];
+    const auto& h = machines[1];
+    const auto& l = machines[2];
+    const auto& y = machines[3];
+    bench::check(j.nodes == 18688 && j.cores_per_node() == 12 &&
+                     j.clock_ghz == 2.6 && j.memory_per_node_gb == 16,
+                 "JaguarPF matches Table II");
+    bench::check(h.nodes == 6392 && h.cores_per_node() == 24 &&
+                     h.clock_ghz == 2.1 && h.memory_per_node_gb == 32,
+                 "Hopper II matches Table II");
+    bench::check(l.nodes == 31 && l.cores_per_node() == 16 &&
+                     l.gpu->props.name == "Tesla C1060" &&
+                     (l.gpu->props.global_mem_bytes >> 30) == 4,
+                 "Lens matches Table II");
+    bench::check(y.nodes == 16 && y.cores_per_node() == 12 &&
+                     y.gpu->props.name == "Tesla C2050" &&
+                     (y.gpu->props.global_mem_bytes >> 30) == 3,
+                 "Yona matches Table II");
+
+    return bench::verdict("TABLE 2");
+}

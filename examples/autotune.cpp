@@ -1,0 +1,72 @@
+/// \file autotune.cpp
+/// The tuning problem the paper's conclusions pose (§VI: "We see a clear
+/// need to tune the number of threads per task. Our test has the additional
+/// tuning parameter of the thickness of the CPU box partition, which can
+/// itself depend on the number of threads per task. A potential dependence
+/// we did not test ... is the GPU thread-block size."): tune the
+/// full-overlap implementation with the advect::tune searchers and compare
+/// the exhaustive grid against cheap coordinate descent.
+///
+/// Usage: autotune [lens|yona] [nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sched/report.hpp"
+#include "tune/tuner.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+namespace tune = advect::tune;
+
+int main(int argc, char** argv) {
+    const std::string name = argc > 1 ? argv[1] : "yona";
+    const int nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+    const auto m = name == "lens" ? model::MachineSpec::lens()
+                                  : model::MachineSpec::yona();
+    if (!m.gpu) return 2;
+
+    sched::RunConfig base;
+    base.machine = m;
+    base.nodes = nodes;
+
+    const auto space = tune::TuningSpace::full(m, sched::Code::I);
+    std::printf("autotuning IV-I (CPU-GPU full overlap) on %s, %d node(s)\n",
+                m.name.c_str(), nodes);
+    std::printf("search space: %zu points (threads x box x block)\n\n",
+                space.size());
+
+    tune::SearchStats grid_stats, cd_stats;
+    const auto grid =
+        tune::grid_search(sched::Code::I, base, space, &grid_stats);
+    const auto cd = tune::coordinate_descent(sched::Code::I, base, space,
+                                             std::nullopt, &cd_stats);
+
+    auto show = [&](const char* label, const tune::TuningPoint& p,
+                    int evals) {
+        std::printf("%-20s %3d thr/task, box %2d, block %dx%-2d -> %7.1f GF "
+                    "(%d evaluations)\n",
+                    label, p.threads_per_task, p.box_thickness, p.block_x,
+                    p.block_y, p.gf, evals);
+    };
+    show("exhaustive grid:", grid, grid_stats.evaluations);
+    show("coordinate descent:", cd, cd_stats.evaluations);
+    std::printf("\ndescent reached %.1f%% of the grid optimum with %.0f%% of "
+                "the evaluations\n\n",
+                100.0 * cd.gf / grid.gf,
+                100.0 * cd_stats.evaluations / grid_stats.evaluations);
+
+    // Show where the tuned configuration spends its step.
+    sched::RunConfig tuned = base;
+    tuned.threads_per_task = grid.threads_per_task;
+    tuned.box_thickness = grid.box_thickness;
+    tuned.block_x = grid.block_x;
+    tuned.block_y = grid.block_y;
+    const auto report = sched::step_report(sched::Code::I, tuned);
+    std::fputs(sched::format_report(sched::Code::I, tuned, report).c_str(),
+               stdout);
+    std::printf("\nRerun with a different node count to watch the best box "
+                "thin out as the\nwork per node shrinks (Figs. 11-12).\n");
+    return 0;
+}

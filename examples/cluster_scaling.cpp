@@ -1,0 +1,78 @@
+/// \file cluster_scaling.cpp
+/// Strong-scaling explorer over the calibrated machine models: pick one of
+/// the paper's four machines and print the modelled best-GF series of every
+/// applicable implementation across core counts — the generator behind
+/// Figs. 3, 4, 9 and 10, opened up for interactive use.
+///
+/// Usage: cluster_scaling [jaguarpf|hopper2|lens|yona] [grid_n]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sched/sweeps.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+namespace {
+
+model::MachineSpec machine_by_name(const std::string& name) {
+    if (name == "jaguarpf") return model::MachineSpec::jaguarpf();
+    if (name == "hopper2") return model::MachineSpec::hopper2();
+    if (name == "lens") return model::MachineSpec::lens();
+    if (name == "yona") return model::MachineSpec::yona();
+    std::fprintf(stderr,
+                 "unknown machine '%s' (try jaguarpf, hopper2, lens, yona)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string name = argc > 1 ? argv[1] : "yona";
+    const int n = argc > 2 ? std::atoi(argv[2]) : 420;
+    const auto m = machine_by_name(name);
+    const auto nodes = sched::default_node_counts(m);
+
+    std::printf("%s — modelled strong scaling of the %d^3 advection step\n",
+                m.name.c_str(), n);
+    std::printf("(best GF over threads/task%s at each core count)\n\n",
+                m.gpu ? ", box thickness and tasks/GPU" : "");
+
+    const sched::Code cpu_codes[] = {sched::Code::B, sched::Code::C,
+                                     sched::Code::D};
+    const sched::Code gpu_codes[] = {sched::Code::F, sched::Code::G,
+                                     sched::Code::H, sched::Code::I};
+
+    std::printf("%10s", "cores");
+    for (auto c : cpu_codes) std::printf("  %-10.10s", sched::code_label(c).c_str() + 5);
+    if (m.gpu)
+        for (auto c : gpu_codes)
+            std::printf("  %-10.10s", sched::code_label(c).c_str() + 5);
+    std::printf("\n");
+
+    std::vector<std::vector<sched::SweepPoint>> series;
+    for (auto c : cpu_codes) series.push_back(sched::best_series(c, m, nodes, n));
+    if (m.gpu)
+        for (auto c : gpu_codes)
+            series.push_back(sched::best_series(c, m, nodes, n));
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::printf("%10d", nodes[i] * m.cores_per_node());
+        for (const auto& s : series) std::printf("  %-10.1f", s[i].gf);
+        std::printf("\n");
+    }
+
+    if (m.gpu) {
+        const auto& overlap = series.back();
+        const auto& bulk = series.front();
+        std::printf("\nfull-overlap advantage over CPU-only bulk-sync: "
+                    "%.1fx at %d cores, %.1fx at %d cores\n",
+                    overlap.front().gf / bulk.front().gf, overlap.front().cores,
+                    overlap.back().gf / bulk.back().gf, overlap.back().cores);
+    }
+    return 0;
+}

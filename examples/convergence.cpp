@@ -1,0 +1,66 @@
+/// \file convergence.cpp
+/// Numerical-accuracy study of the scheme (paper §II): "Our method is
+/// O(Delta^3) for a single time step and O(Delta^2) for a fixed simulated
+/// time. It is numerically stable [at the CFL limit], and we run the test
+/// at the maximum stable value of nu." This example measures both claims:
+/// the observed convergence order on a grid-refinement ladder at fixed
+/// simulated time, and exactness at unit Courant number.
+///
+/// Usage: convergence [nu_fraction]   (fraction of the stability limit)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/problem.hpp"
+
+int main(int argc, char** argv) {
+    namespace core = advect::core;
+    const double nu_fraction = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+    std::printf("Lax-Wendroff convergence at fixed simulated time\n");
+    std::printf("c = (1, 0.5, 0.25), nu = %.2f x stability limit\n\n",
+                nu_fraction);
+    std::printf("%8s %10s %14s %14s %10s\n", "grid", "steps", "L2 error",
+                "Linf error", "order");
+
+    const core::Velocity3 c{1.0, 0.5, 0.25};
+    double prev_l2 = 0.0;
+    bool orders_ok = true;
+    for (int n : {16, 32, 64, 128}) {
+        core::AdvectionProblem p;
+        p.domain.n = n;
+        p.velocity = c;
+        p.nu = nu_fraction * core::max_stable_nu(c);
+        // Integrate to the same simulated time on every grid: t = 16 dt of
+        // the coarsest run.
+        const double target_time = 16.0 * (1.0 / 16) *
+                                   (nu_fraction * core::max_stable_nu(c));
+        const int steps = static_cast<int>(target_time / p.dt() + 0.5);
+        const auto state = core::run_reference(p, steps);
+        const auto err = core::error_vs_analytic(p, state, steps);
+        double order = 0.0;
+        if (prev_l2 > 0.0) order = std::log2(prev_l2 / err.l2);
+        std::printf("%7d^3 %10d %14.4e %14.4e %10.2f\n", n, steps, err.l2,
+                    err.linf, order);
+        // The coarsest refinement is pre-asymptotic (the sigma = 0.08
+        // wave spans only ~1.3 cells at 16^3); judge the resolved ones.
+        if (n > 32 && order < 1.5) orders_ok = false;
+        prev_l2 = err.l2;
+    }
+
+    std::printf("\nexactness at unit Courant number (c=(1,1,1), nu=1):\n");
+    auto exact = core::AdvectionProblem::standard(32);
+    const auto state = core::run_reference(exact, 32);
+    const auto err = core::error_vs_analytic(exact, state, 32);
+    std::printf("  Linf after one domain crossing: %.3e (round-off only)\n",
+                err.linf);
+
+    if (!orders_ok || err.linf > 1e-12) {
+        std::printf("\nconvergence study FAILED expectations\n");
+        return 1;
+    }
+    std::printf("\nObserved order ~2, matching the paper's O(Delta^2) claim "
+                "for fixed\nsimulated time.\n");
+    return 0;
+}

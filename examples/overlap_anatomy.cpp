@@ -1,0 +1,56 @@
+/// \file overlap_anatomy.cpp
+/// Where does a time step's time go? Print the modelled per-resource
+/// utilization of every implementation on one machine — making the
+/// paper's overlap story visible: bulk-synchronous implementations leave
+/// most resources idle most of the step, while the full-overlap
+/// implementation (§IV-I) keeps CPU, NIC, PCIe and GPU busy concurrently
+/// ("it may overlap more than two types of operation", §IV-I).
+///
+/// Usage: overlap_anatomy [jaguarpf|hopper2|lens|yona] [nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sched/report.hpp"
+#include "sched/sweeps.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+int main(int argc, char** argv) {
+    const std::string name = argc > 1 ? argv[1] : "yona";
+    const int nodes = argc > 2 ? std::atoi(argv[2]) : 1;
+    model::MachineSpec m = model::MachineSpec::yona();
+    if (name == "jaguarpf") m = model::MachineSpec::jaguarpf();
+    else if (name == "hopper2") m = model::MachineSpec::hopper2();
+    else if (name == "lens") m = model::MachineSpec::lens();
+
+    const sched::Code codes[] = {sched::Code::B, sched::Code::C,
+                                 sched::Code::D, sched::Code::E,
+                                 sched::Code::F, sched::Code::G,
+                                 sched::Code::H, sched::Code::I};
+
+    std::printf("overlap anatomy on %s, %d node(s)\n", m.name.c_str(), nodes);
+    std::printf("(best tuning per implementation; bars = modelled busy "
+                "fraction per step)\n\n");
+
+    for (auto c : codes) {
+        // Take the best tuning from the sweeps layer, then report it.
+        const int nn[] = {nodes};
+        const auto best = sched::best_series(c, m, nn)[0];
+        if (best.gf <= 0.0) continue;
+        sched::RunConfig cfg;
+        cfg.machine = m;
+        cfg.nodes = nodes;
+        cfg.threads_per_task = best.threads;
+        if (best.box > 0) cfg.box_thickness = best.box;
+        const auto report = sched::step_report(c, cfg);
+        std::fputs(sched::format_report(c, cfg, report).c_str(), stdout);
+        std::printf("\n");
+    }
+    std::printf("Note how the overlap factor climbs from the bulk-synchronous "
+                "implementations\nto IV-I: that is the paper's thesis in one "
+                "number.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+#include "core/box_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace advect::core {
+
+Range3 expand(const Range3& r, int by) {
+    return {{r.lo.i - by, r.lo.j - by, r.lo.k - by},
+            {r.hi.i + by, r.hi.j + by, r.hi.k + by}};
+}
+
+std::vector<Range3> box_subtract(const Range3& a, const Range3& b) {
+    std::vector<Range3> out;
+    const Range3 c = a.intersect(b);
+    if (c.empty()) {
+        if (!a.empty()) out.push_back(a);
+        return out;
+    }
+    auto push = [&out](Range3 r) {
+        if (!r.empty()) out.push_back(r);
+    };
+    // Peel z slabs, then y strips, then x pencils.
+    push({{a.lo.i, a.lo.j, a.lo.k}, {a.hi.i, a.hi.j, c.lo.k}});
+    push({{a.lo.i, a.lo.j, c.hi.k}, {a.hi.i, a.hi.j, a.hi.k}});
+    push({{a.lo.i, a.lo.j, c.lo.k}, {a.hi.i, c.lo.j, c.hi.k}});
+    push({{a.lo.i, c.hi.j, c.lo.k}, {a.hi.i, a.hi.j, c.hi.k}});
+    push({{a.lo.i, c.lo.j, c.lo.k}, {c.lo.i, c.hi.j, c.hi.k}});
+    push({{c.hi.i, c.lo.j, c.lo.k}, {a.hi.i, c.hi.j, c.hi.k}});
+    return out;
+}
+
+BoxPartition::BoxPartition(Extents3 local, int thickness)
+    : local_(local), t_(thickness) {
+    if (thickness < 1)
+        throw std::invalid_argument("BoxPartition: thickness must be >= 1");
+    const int mn = std::min({local.nx, local.ny, local.nz});
+    if (2 * thickness >= mn)
+        throw std::invalid_argument(
+            "BoxPartition: thickness leaves an empty GPU block");
+    block_ = {{t_, t_, t_}, {local.nx - t_, local.ny - t_, local.nz - t_}};
+
+    // Disjoint wall slabs in the same peeling order as box_subtract.
+    const int nx = local.nx, ny = local.ny, nz = local.nz, t = t_;
+    const Range3 whole = {{0, 0, 0}, {nx, ny, nz}};
+    const Range3 interior1 = expand(whole, -1);
+    auto add_wall = [this, &interior1](int dim, int dir, Range3 w) {
+        Wall wall;
+        wall.dim = dim;
+        wall.dir = dir;
+        wall.whole = w;
+        const Range3 in = w.intersect(interior1);
+        if (!in.empty()) wall.inner.push_back(in);
+        wall.outer = box_subtract(w, interior1);
+        walls_.push_back(std::move(wall));
+    };
+    add_wall(2, -1, {{0, 0, 0}, {nx, ny, t}});
+    add_wall(2, +1, {{0, 0, nz - t}, {nx, ny, nz}});
+    add_wall(1, -1, {{0, 0, t}, {nx, t, nz - t}});
+    add_wall(1, +1, {{0, ny - t, t}, {nx, ny, nz - t}});
+    add_wall(0, -1, {{0, t, t}, {t, ny - t, nz - t}});
+    add_wall(0, +1, {{nx - t, t, t}, {nx, ny - t, nz - t}});
+}
+
+std::vector<Range3> BoxPartition::gpu_halo_shell() const {
+    return box_subtract(expand(block_, 1), block_);
+}
+
+std::vector<Range3> BoxPartition::block_boundary_shell() const {
+    return box_subtract(block_, expand(block_, -1));
+}
+
+}  // namespace advect::core

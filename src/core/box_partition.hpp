@@ -1,0 +1,71 @@
+#pragma once
+/// \file box_partition.hpp
+/// The CPU-box / GPU-block partition of a task-local domain (paper Fig. 1,
+/// §IV-H and §IV-I): the GPU computes an interior block, the CPUs compute an
+/// enclosing box (shell) whose wall thickness is the tunable load-balance
+/// parameter.
+
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace advect::core {
+
+/// Grow (positive) or shrink (negative) a box by `by` points on every side.
+[[nodiscard]] Range3 expand(const Range3& r, int by);
+
+/// a \ b as up to six disjoint boxes (slab peeling: z-low, z-high, y-low,
+/// y-high, x-low, x-high). Empty pieces are omitted.
+[[nodiscard]] std::vector<Range3> box_subtract(const Range3& a, const Range3& b);
+
+/// A wall of the CPU box, split for the full-overlap implementation
+/// (§IV-I): `outer` pieces touch the task's outer halo and must wait for MPI
+/// completion in this wall's dimension; `inner` pieces can be computed while
+/// that communication is in flight.
+struct Wall {
+    int dim = 0;   ///< dimension of the wall normal (0..2)
+    int dir = 0;   ///< -1 low wall, +1 high wall
+    Range3 whole;  ///< the full wall slab
+    std::vector<Range3> inner;  ///< interior + inner-boundary pieces
+    std::vector<Range3> outer;  ///< outermost layer pieces (touch outer halo)
+};
+
+/// Partition of a local domain of extents `local` into a GPU block
+/// [t, n-t)^3 and six disjoint CPU wall slabs of thickness t.
+class BoxPartition {
+  public:
+    /// Build the partition. Requires 1 <= thickness and a non-empty GPU
+    /// block (thickness < min extent / 2); throws std::invalid_argument
+    /// otherwise.
+    BoxPartition(Extents3 local, int thickness);
+
+    [[nodiscard]] Extents3 local() const { return local_; }
+    [[nodiscard]] int thickness() const { return t_; }
+    /// The interior block computed by the GPU.
+    [[nodiscard]] Range3 gpu_block() const { return block_; }
+    /// The six CPU wall slabs (z-low, z-high, y-low, y-high, x-low, x-high),
+    /// disjoint and together covering local \ gpu_block().
+    [[nodiscard]] const std::vector<Wall>& cpu_walls() const { return walls_; }
+
+    /// One-point-thick CPU-owned shell immediately surrounding the GPU
+    /// block: the source of the GPU's halo (copied host-to-device each step).
+    [[nodiscard]] std::vector<Range3> gpu_halo_shell() const;
+    /// One-point-thick outermost layer of the GPU block: the data the CPU
+    /// walls need from the GPU (copied device-to-host each step).
+    [[nodiscard]] std::vector<Range3> block_boundary_shell() const;
+
+    /// Points computed by the GPU (block volume).
+    [[nodiscard]] std::size_t gpu_points() const { return block_.volume(); }
+    /// Points computed by the CPU (shell volume).
+    [[nodiscard]] std::size_t cpu_points() const {
+        return local_.volume() - block_.volume();
+    }
+
+  private:
+    Extents3 local_{};
+    int t_ = 1;
+    Range3 block_{};
+    std::vector<Wall> walls_;
+};
+
+}  // namespace advect::core

@@ -1,0 +1,79 @@
+#include "core/coefficients.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace advect::core {
+
+double StencilCoeffs::sum() const {
+    double s = 0.0;
+    for (double v : a) s += v;
+    return s;
+}
+
+std::array<double, 3> lax_wendroff_1d(double c, double nu) {
+    const double q = c * nu;
+    return {q * (1.0 + q) / 2.0, 1.0 - q * q, q * (q - 1.0) / 2.0};
+}
+
+StencilCoeffs tensor_product_coeffs(const Velocity3& c, double nu) {
+    const auto ax = lax_wendroff_1d(c.cx, nu);
+    const auto ay = lax_wendroff_1d(c.cy, nu);
+    const auto az = lax_wendroff_1d(c.cz, nu);
+    StencilCoeffs out;
+    for (int dk = -1; dk <= 1; ++dk)
+        for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di)
+                out.at(di, dj, dk) = ax[static_cast<std::size_t>(di + 1)] *
+                                     ay[static_cast<std::size_t>(dj + 1)] *
+                                     az[static_cast<std::size_t>(dk + 1)];
+    return out;
+}
+
+StencilCoeffs table1_coeffs(const Velocity3& c, double nu) {
+    const double cx = c.cx, cy = c.cy, cz = c.cz;
+    const double n = nu, n2 = nu * nu, n3 = nu * nu * nu;
+    const double x2 = cx * cx * n2, y2 = cy * cy * n2, z2 = cz * cz * n2;
+    StencilCoeffs out;
+
+    out.at(-1, -1, -1) = cx * cy * cz * n3 * (1 + cx * n) * (1 + cy * n) * (1 + cz * n) / 8;
+    out.at(-1, -1, 0) = -2 * cx * cy * n2 * (1 + cx * n) * (1 + cy * n) * (z2 - 1) / 8;
+    out.at(-1, -1, +1) = cx * cy * cz * n3 * (1 + cx * n) * (1 + cy * n) * (cz * n - 1) / 8;
+    out.at(-1, 0, -1) = -2 * cx * cz * n2 * (1 + cx * n) * (1 + cz * n) * (y2 - 1) / 8;
+    out.at(-1, 0, 0) = 4 * cx * n * (1 + cx * n) * (y2 - 1) * (z2 - 1) / 8;
+    out.at(-1, 0, +1) = -2 * cx * cz * n2 * (1 + cx * n) * (-1 + cz * n) * (-1 + y2) / 8;
+    out.at(-1, +1, -1) = cx * cy * cz * n3 * (1 + cx * n) * (-1 + cy * n) * (1 + cz * n) / 8;
+    out.at(-1, +1, 0) = -2 * cx * cy * n2 * (1 + cx * n) * (-1 + cy * n) * (-1 + z2) / 8;
+    out.at(-1, +1, +1) = cx * cy * cz * n3 * (1 + cx * n) * (-1 + cy * n) * (-1 + cz * n) / 8;
+
+    out.at(0, -1, -1) = -2 * cy * cz * n2 * (1 + cy * n) * (1 + cz * n) * (-1 + x2) / 8;
+    out.at(0, -1, 0) = 4 * cy * n * (1 + cy * n) * (-1 + x2) * (-1 + z2) / 8;
+    out.at(0, -1, +1) = -2 * cy * cz * n2 * (1 + cy * n) * (-1 + cz * n) * (-1 + x2) / 8;
+    out.at(0, 0, -1) = 4 * cz * n * (1 + cz * n) * (-1 + x2) * (-1 + y2) / 8;
+    out.at(0, 0, 0) = -8 * (-1 + x2) * (-1 + y2) * (-1 + z2) / 8;
+    out.at(0, 0, +1) = 4 * cz * n * (-1 + cz * n) * (-1 + x2) * (-1 + y2) / 8;
+    out.at(0, +1, -1) = -2 * cy * cz * n2 * (-1 + cy * n) * (1 + cz * n) * (-1 + x2) / 8;
+    out.at(0, +1, 0) = 4 * cy * n * (-1 + cy * n) * (-1 + x2) * (-1 + z2) / 8;
+    out.at(0, +1, +1) = -2 * cy * cz * n2 * (-1 + cy * n) * (-1 + cz * n) * (-1 + x2) / 8;
+
+    out.at(+1, -1, -1) = cx * cy * cz * n3 * (-1 + cx * n) * (1 + cy * n) * (1 + cz * n) / 8;
+    out.at(+1, -1, 0) = -2 * cx * cy * n2 * (-1 + cx * n) * (1 + cy * n) * (-1 + z2) / 8;
+    out.at(+1, -1, +1) = cx * cy * cz * n3 * (-1 + cx * n) * (1 + cy * n) * (-1 + cz * n) / 8;
+    out.at(+1, 0, -1) = -2 * cx * cz * n2 * (-1 + cx * n) * (1 + cz * n) * (-1 + y2) / 8;
+    out.at(+1, 0, 0) = 4 * cx * n * (-1 + cx * n) * (-1 + y2) * (-1 + z2) / 8;
+    out.at(+1, 0, +1) = -2 * cx * cz * n2 * (-1 + cx * n) * (-1 + cz * n) * (-1 + y2) / 8;
+    out.at(+1, +1, -1) = cx * cy * cz * n3 * (-1 + cx * n) * (-1 + cy * n) * (1 + cz * n) / 8;
+    out.at(+1, +1, 0) = -2 * cx * cy * n2 * (-1 + cx * n) * (-1 + cy * n) * (-1 + z2) / 8;
+    out.at(+1, +1, +1) = cx * cy * cz * n3 * (-1 + cx * n) * (-1 + cy * n) * (-1 + cz * n) / 8;
+
+    return out;
+}
+
+double max_stable_nu(const Velocity3& c) {
+    const double m = c.max_abs();
+    if (m <= 0.0)
+        throw std::invalid_argument("max_stable_nu: velocity must be nonzero");
+    return 1.0 / m;
+}
+
+}  // namespace advect::core

@@ -1,0 +1,121 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace advect::core {
+
+std::vector<int> split_sizes(int n, int parts) {
+    if (parts < 1 || parts > n)
+        throw std::invalid_argument("split_sizes: need 1 <= parts <= n");
+    std::vector<int> sizes(static_cast<std::size_t>(parts), n / parts);
+    for (int p = 0; p < n % parts; ++p) ++sizes[static_cast<std::size_t>(p)];
+    return sizes;
+}
+
+namespace {
+
+std::vector<int> offsets_of(const std::vector<int>& sizes) {
+    std::vector<int> off(sizes.size(), 0);
+    for (std::size_t p = 1; p < sizes.size(); ++p)
+        off[p] = off[p - 1] + sizes[p - 1];
+    return off;
+}
+
+}  // namespace
+
+Decomp3::Decomp3(Extents3 global, int px, int py, int pz)
+    : global_(global),
+      px_(px),
+      py_(py),
+      pz_(pz),
+      xs_(split_sizes(global.nx, px)),
+      ys_(split_sizes(global.ny, py)),
+      zs_(split_sizes(global.nz, pz)),
+      xo_(offsets_of(xs_)),
+      yo_(offsets_of(ys_)),
+      zo_(offsets_of(zs_)) {}
+
+Index3 Decomp3::coords(int rank) const {
+    assert(rank >= 0 && rank < nranks());
+    return {rank % px_, (rank / px_) % py_, rank / (px_ * py_)};
+}
+
+int Decomp3::rank_at(Index3 c) const {
+    const int cx = wrap(c.i, px_);
+    const int cy = wrap(c.j, py_);
+    const int cz = wrap(c.k, pz_);
+    return cx + px_ * (cy + py_ * cz);
+}
+
+int Decomp3::neighbor(int rank, int dim, int dir) const {
+    assert(dim >= 0 && dim < 3);
+    assert(dir == -1 || dir == 1);
+    Index3 c = coords(rank);
+    if (dim == 0) c.i += dir;
+    else if (dim == 1) c.j += dir;
+    else c.k += dir;
+    return rank_at(c);
+}
+
+Range3 Decomp3::owned(int rank) const {
+    const Index3 c = coords(rank);
+    const auto ci = static_cast<std::size_t>(c.i);
+    const auto cj = static_cast<std::size_t>(c.j);
+    const auto ck = static_cast<std::size_t>(c.k);
+    Range3 r;
+    r.lo = {xo_[ci], yo_[cj], zo_[ck]};
+    r.hi = {xo_[ci] + xs_[ci], yo_[cj] + ys_[cj], zo_[ck] + zs_[ck]};
+    return r;
+}
+
+Extents3 Decomp3::local_extents(int rank) const {
+    return owned(rank).extents();
+}
+
+Index3 Decomp3::origin(int rank) const { return owned(rank).lo; }
+
+Decomp3 make_decomposition(Extents3 global, int ntasks) {
+    if (ntasks < 1) throw std::invalid_argument("make_decomposition: ntasks < 1");
+    if (static_cast<std::size_t>(ntasks) > global.volume())
+        throw std::invalid_argument(
+            "make_decomposition: more tasks than grid points");
+
+    // Enumerate factor triples px * py * pz == ntasks; score each feasible
+    // assignment by how close the typical subdomain is to cubic (minimal
+    // surface area), preferring sx >= sy >= sz (largest in x, smallest in z).
+    double best_score = std::numeric_limits<double>::infinity();
+    int bx = 0, by = 0, bz = 0;
+    for (int a = 1; a <= ntasks; ++a) {
+        if (ntasks % a != 0) continue;
+        const int rest = ntasks / a;
+        for (int b = 1; b <= rest; ++b) {
+            if (rest % b != 0) continue;
+            const int c = rest / b;
+            if (a > global.nx || b > global.ny || c > global.nz) continue;
+            const double sx = static_cast<double>(global.nx) / a;
+            const double sy = static_cast<double>(global.ny) / b;
+            const double sz = static_cast<double>(global.nz) / c;
+            double score = 2.0 * (sx * sy + sy * sz + sz * sx);
+            // Prefer sx >= sy >= sz among equal-surface permutations.
+            if (sx < sy) score *= 1.0 + 1e-9;
+            if (sy < sz) score *= 1.0 + 1e-9;
+            if (score < best_score) {
+                best_score = score;
+                bx = a;
+                by = b;
+                bz = c;
+            }
+        }
+    }
+    if (bx == 0)
+        throw std::invalid_argument(
+            "make_decomposition: no factorization of the task count fits the "
+            "grid without empty subdomains");
+    return Decomp3(global, bx, by, bz);
+}
+
+}  // namespace advect::core

@@ -1,0 +1,63 @@
+#pragma once
+/// \file decomposition.hpp
+/// Balanced 3-D data decomposition among MPI tasks (paper §IV-B):
+///  * every task gets a non-empty subdomain,
+///  * subdomains are as equal-sized and as close to cubic as possible,
+///  * otherwise the subdomain is largest in x and smallest in z (x is the
+///    contiguous dimension, so this favours memory locality),
+///  * within a dimension the largest part is at most one point larger than
+///    the smallest,
+///  * subdomains are axis-aligned, so each task has 26 neighbours (a task
+///    may be its own neighbour for small or prime task counts).
+
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace advect::core {
+
+/// Sizes of `parts` contiguous chunks of `n` points: the first (n % parts)
+/// chunks get one extra point. Requires 1 <= parts <= n.
+[[nodiscard]] std::vector<int> split_sizes(int n, int parts);
+
+/// A 3-D block decomposition of a global grid among `nranks()` tasks.
+class Decomp3 {
+  public:
+    Decomp3() = default;
+    /// Construct with explicit per-dimension part counts.
+    Decomp3(Extents3 global, int px, int py, int pz);
+
+    [[nodiscard]] Extents3 global() const { return global_; }
+    [[nodiscard]] int px() const { return px_; }
+    [[nodiscard]] int py() const { return py_; }
+    [[nodiscard]] int pz() const { return pz_; }
+    [[nodiscard]] int nranks() const { return px_ * py_ * pz_; }
+
+    /// Cartesian coordinates of a rank; rank = cx + px*(cy + py*cz).
+    [[nodiscard]] Index3 coords(int rank) const;
+    /// Rank at the given coordinates (wrapped periodically).
+    [[nodiscard]] int rank_at(Index3 c) const;
+    /// Rank of the periodic neighbour in dimension `dim` (0..2), direction
+    /// `dir` (-1 or +1).
+    [[nodiscard]] int neighbor(int rank, int dim, int dir) const;
+
+    /// Global half-open index range owned by a rank.
+    [[nodiscard]] Range3 owned(int rank) const;
+    /// Interior extents of a rank's subdomain.
+    [[nodiscard]] Extents3 local_extents(int rank) const;
+    /// Global origin (lowest owned index triple) of a rank's subdomain.
+    [[nodiscard]] Index3 origin(int rank) const;
+
+  private:
+    Extents3 global_{};
+    int px_ = 1, py_ = 1, pz_ = 1;
+    std::vector<int> xs_, ys_, zs_;    // part sizes per dimension
+    std::vector<int> xo_, yo_, zo_;    // part offsets per dimension
+};
+
+/// Choose (px, py, pz) for `ntasks` per the paper's rules and build the
+/// decomposition. Throws std::invalid_argument if ntasks exceeds the number
+/// of grid points (an empty subdomain would be unavoidable).
+[[nodiscard]] Decomp3 make_decomposition(Extents3 global, int ntasks);
+
+}  // namespace advect::core

@@ -1,0 +1,39 @@
+#include "core/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace advect::core {
+
+double Velocity3::max_abs() const {
+    return std::max({std::fabs(cx), std::fabs(cy), std::fabs(cz)});
+}
+
+void Field3::copy_region_from(const Field3& src, const Range3& region) {
+    assert(src.extents() == n_);
+    for (int k = region.lo.k; k < region.hi.k; ++k)
+        for (int j = region.lo.j; j < region.hi.j; ++j)
+            for (int i = region.lo.i; i < region.hi.i; ++i)
+                (*this)(i, j, k) = src(i, j, k);
+}
+
+bool Field3::interior_equals(const Field3& other) const {
+    if (other.extents() != n_) return false;
+    for (int k = 0; k < n_.nz; ++k)
+        for (int j = 0; j < n_.ny; ++j)
+            for (int i = 0; i < n_.nx; ++i)
+                if ((*this)(i, j, k) != other(i, j, k)) return false;
+    return true;
+}
+
+void Field3::fill_halo(double value) {
+    for (int k = -1; k <= n_.nz; ++k)
+        for (int j = -1; j <= n_.ny; ++j)
+            for (int i = -1; i <= n_.nx; ++i) {
+                const bool interior = i >= 0 && i < n_.nx && j >= 0 &&
+                                      j < n_.ny && k >= 0 && k < n_.nz;
+                if (!interior) (*this)(i, j, k) = value;
+            }
+}
+
+}  // namespace advect::core

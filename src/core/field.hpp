@@ -1,0 +1,91 @@
+#pragma once
+/// \file field.hpp
+/// Halo-padded 3-D scalar field, the state container for the advection state
+/// u(x, y, z). Each local field stores its interior points plus a halo of
+/// width 1 on every side (the 3x3x3 stencil needs one ghost layer).
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace advect::core {
+
+/// A 3-D array of doubles with interior extents (nx, ny, nz) and a halo of
+/// width 1. Valid indices per dimension are [-1, n]; x is contiguous.
+class Field3 {
+  public:
+    Field3() = default;
+    explicit Field3(Extents3 interior, double fill = 0.0)
+        : n_(interior),
+          sx_(interior.nx + 2),
+          sxy_(static_cast<std::size_t>(interior.nx + 2) *
+               static_cast<std::size_t>(interior.ny + 2)),
+          data_(sxy_ * static_cast<std::size_t>(interior.nz + 2), fill) {}
+
+    /// Interior extents (halo excluded).
+    [[nodiscard]] Extents3 extents() const { return n_; }
+    /// Interior point count.
+    [[nodiscard]] std::size_t interior_volume() const { return n_.volume(); }
+    /// Total allocation including halos.
+    [[nodiscard]] std::size_t storage_size() const { return data_.size(); }
+
+    /// Access point (i, j, k); halo points use index -1 or n in a dimension.
+    [[nodiscard]] double& operator()(int i, int j, int k) {
+        return data_[offset(i, j, k)];
+    }
+    [[nodiscard]] double operator()(int i, int j, int k) const {
+        return data_[offset(i, j, k)];
+    }
+    [[nodiscard]] double& operator()(const Index3& p) {
+        return (*this)(p.i, p.j, p.k);
+    }
+    [[nodiscard]] double operator()(const Index3& p) const {
+        return (*this)(p.i, p.j, p.k);
+    }
+
+    /// Linear offset of (i, j, k) in the padded layout.
+    [[nodiscard]] std::size_t offset(int i, int j, int k) const {
+        assert(i >= -1 && i <= n_.nx);
+        assert(j >= -1 && j <= n_.ny);
+        assert(k >= -1 && k <= n_.nz);
+        return static_cast<std::size_t>(i + 1) +
+               static_cast<std::size_t>(sx_) * static_cast<std::size_t>(j + 1) +
+               sxy_ * static_cast<std::size_t>(k + 1);
+    }
+
+    /// Raw storage including halos (x fastest).
+    [[nodiscard]] std::span<double> raw() { return data_; }
+    [[nodiscard]] std::span<const double> raw() const { return data_; }
+
+    /// Half-open range covering the interior.
+    [[nodiscard]] Range3 interior() const {
+        return {{0, 0, 0}, {n_.nx, n_.ny, n_.nz}};
+    }
+
+    /// Copy the values in `region` (which may extend into halos) from `src`.
+    /// Both fields must have identical extents.
+    void copy_region_from(const Field3& src, const Range3& region);
+
+    /// Exact equality of interior points against another same-shaped field.
+    [[nodiscard]] bool interior_equals(const Field3& other) const;
+
+    /// Fill every halo point with `value` (useful to poison ghosts in tests).
+    void fill_halo(double value);
+
+    void swap(Field3& other) noexcept {
+        std::swap(n_, other.n_);
+        std::swap(sx_, other.sx_);
+        std::swap(sxy_, other.sxy_);
+        data_.swap(other.data_);
+    }
+
+  private:
+    Extents3 n_{};
+    int sx_ = 0;          // padded x stride
+    std::size_t sxy_ = 0; // padded xy-plane stride
+    std::vector<double> data_;
+};
+
+}  // namespace advect::core

@@ -1,0 +1,105 @@
+#pragma once
+/// \file grid.hpp
+/// Basic index and extent types for the 3-D periodic advection domain.
+///
+/// Conventions used throughout advectlab:
+///  * x is the fastest-varying (contiguous) dimension, matching the paper's
+///    Fortran layout where subdomains are kept largest in x for locality.
+///  * Interior points of a local domain are indexed [0, n) per dimension;
+///    a halo of width 1 surrounds them, indexed -1 and n.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace advect::core {
+
+/// A triple of extents (number of points per dimension).
+struct Extents3 {
+    int nx = 0;
+    int ny = 0;
+    int nz = 0;
+
+    friend bool operator==(const Extents3&, const Extents3&) = default;
+
+    /// Total number of points.
+    [[nodiscard]] std::size_t volume() const {
+        return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+               static_cast<std::size_t>(nz);
+    }
+    [[nodiscard]] int operator[](int dim) const {
+        return dim == 0 ? nx : (dim == 1 ? ny : nz);
+    }
+};
+
+/// A triple of integer coordinates; may address halo points (value -1 or n).
+struct Index3 {
+    int i = 0;
+    int j = 0;
+    int k = 0;
+
+    friend bool operator==(const Index3&, const Index3&) = default;
+
+    [[nodiscard]] int operator[](int dim) const {
+        return dim == 0 ? i : (dim == 1 ? j : k);
+    }
+};
+
+/// Half-open index box [lo, hi) in three dimensions, used to describe
+/// sub-regions of a local domain (interior partitions, boundary shells,
+/// pack/unpack surfaces, ...).
+struct Range3 {
+    Index3 lo;
+    Index3 hi;
+
+    friend bool operator==(const Range3&, const Range3&) = default;
+
+    [[nodiscard]] bool empty() const {
+        return hi.i <= lo.i || hi.j <= lo.j || hi.k <= lo.k;
+    }
+    [[nodiscard]] std::size_t volume() const {
+        if (empty()) return 0;
+        return static_cast<std::size_t>(hi.i - lo.i) *
+               static_cast<std::size_t>(hi.j - lo.j) *
+               static_cast<std::size_t>(hi.k - lo.k);
+    }
+    [[nodiscard]] Extents3 extents() const {
+        if (empty()) return {};
+        return {hi.i - lo.i, hi.j - lo.j, hi.k - lo.k};
+    }
+    /// True when `p` lies inside the box.
+    [[nodiscard]] bool contains(const Index3& p) const {
+        return p.i >= lo.i && p.i < hi.i && p.j >= lo.j && p.j < hi.j &&
+               p.k >= lo.k && p.k < hi.k;
+    }
+    /// Intersection of two boxes (may be empty).
+    [[nodiscard]] Range3 intersect(const Range3& o) const {
+        Range3 r;
+        r.lo = {lo.i > o.lo.i ? lo.i : o.lo.i, lo.j > o.lo.j ? lo.j : o.lo.j,
+                lo.k > o.lo.k ? lo.k : o.lo.k};
+        r.hi = {hi.i < o.hi.i ? hi.i : o.hi.i, hi.j < o.hi.j ? hi.j : o.hi.j,
+                hi.k < o.hi.k ? hi.k : o.hi.k};
+        return r;
+    }
+};
+
+/// Wrap a (possibly negative) coordinate into [0, n) for periodic domains.
+[[nodiscard]] constexpr int wrap(int c, int n) {
+    const int m = c % n;
+    return m < 0 ? m + n : m;
+}
+
+/// Uniform constant advection velocity (the paper's c = {c_x, c_y, c_z}).
+struct Velocity3 {
+    double cx = 1.0;
+    double cy = 1.0;
+    double cz = 1.0;
+
+    [[nodiscard]] double operator[](int dim) const {
+        return dim == 0 ? cx : (dim == 1 ? cy : cz);
+    }
+    /// max{|c_x|, |c_y|, |c_z|}, the quantity governing the CFL limit.
+    [[nodiscard]] double max_abs() const;
+};
+
+}  // namespace advect::core

@@ -1,0 +1,98 @@
+#include "core/halo.hpp"
+
+#include <cassert>
+
+namespace advect::core {
+namespace {
+
+/// Transverse range (per stage) for the given dimension: lo/hi bounds of the
+/// other two dimensions, growing with the stage to carry corners.
+struct Transverse {
+    int jlo, jhi;  // bounds of the lower-numbered other dimension
+    int klo, khi;  // bounds of the higher-numbered other dimension
+};
+
+Transverse transverse_for(const Extents3& n, int dim) {
+    switch (dim) {
+        case 0: return {0, n.ny, 0, n.nz};          // x stage: interior j,k
+        case 1: return {-1, n.nx + 1, 0, n.nz};     // y stage: full i, interior k
+        default: return {-1, n.nx + 1, -1, n.ny + 1};  // z stage: full i,j
+    }
+}
+
+/// Build the Range3 for a plane at coordinate `c` in dimension `dim` with
+/// transverse bounds `t`.
+Range3 plane(int dim, int c, const Transverse& t) {
+    Range3 r;
+    switch (dim) {
+        case 0:
+            r.lo = {c, t.jlo, t.klo};
+            r.hi = {c + 1, t.jhi, t.khi};
+            break;
+        case 1:
+            r.lo = {t.jlo, c, t.klo};
+            r.hi = {t.jhi, c + 1, t.khi};
+            break;
+        default:
+            r.lo = {t.jlo, t.klo, c};
+            r.hi = {t.jhi, t.khi, c + 1};
+            break;
+    }
+    return r;
+}
+
+}  // namespace
+
+HaloPlan HaloPlan::make(Extents3 n) {
+    HaloPlan p;
+    for (int d = 0; d < 3; ++d) {
+        const auto t = transverse_for(n, d);
+        auto& e = p.dims[static_cast<std::size_t>(d)];
+        e.dim = d;
+        e.send_low = plane(d, 0, t);
+        e.send_high = plane(d, n[d] - 1, t);
+        e.recv_low = plane(d, -1, t);
+        e.recv_high = plane(d, n[d], t);
+    }
+    return p;
+}
+
+void pack(const Field3& f, const Range3& region, std::span<double> out) {
+    assert(out.size() >= region.volume());
+    std::size_t idx = 0;
+    for (int k = region.lo.k; k < region.hi.k; ++k)
+        for (int j = region.lo.j; j < region.hi.j; ++j)
+            for (int i = region.lo.i; i < region.hi.i; ++i)
+                out[idx++] = f(i, j, k);
+}
+
+std::vector<double> pack(const Field3& f, const Range3& region) {
+    std::vector<double> buf(region.volume());
+    pack(f, region, buf);
+    return buf;
+}
+
+void unpack(Field3& f, const Range3& region, std::span<const double> in) {
+    assert(in.size() >= region.volume());
+    std::size_t idx = 0;
+    for (int k = region.lo.k; k < region.hi.k; ++k)
+        for (int j = region.lo.j; j < region.hi.j; ++j)
+            for (int i = region.lo.i; i < region.hi.i; ++i)
+                f(i, j, k) = in[idx++];
+}
+
+void fill_periodic_halo_dim(Field3& f, int dim) {
+    const auto plan = HaloPlan::make(f.extents());
+    const auto& e = plan.dims[static_cast<std::size_t>(dim)];
+    // Low halo <- high boundary plane; high halo <- low boundary plane.
+    auto buf = pack(f, e.send_high);
+    unpack(f, e.recv_low, buf);
+    pack(f, e.send_low, buf);
+    unpack(f, e.recv_high, buf);
+}
+
+void fill_periodic_halo(Field3& f) {
+    for (int d = 0; d < 3; ++d) fill_periodic_halo_dim(f, d);
+}
+
+}  // namespace advect::core

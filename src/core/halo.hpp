@@ -1,0 +1,58 @@
+#pragma once
+/// \file halo.hpp
+/// Halo-exchange geometry for the width-1 ghost layer. The paper (§IV-B)
+/// uses the well-established serialized-dimension strategy: exchange x faces
+/// first, then y faces including the freshly filled x halos, then z faces
+/// including x and y halos. Corners propagate through intermediate
+/// neighbours, reducing the 26-neighbour exchange to 6 messages per step.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace advect::core {
+
+/// Send/receive regions for one dimension's stage of the serialized halo
+/// exchange. Messages "travel" in a direction: the low-travelling message
+/// carries this rank's low boundary plane to the low neighbour, where it
+/// lands in that rank's high halo (and symmetrically).
+struct DimExchange {
+    int dim = 0;
+    Range3 send_low;   ///< plane at coordinate 0, sent to the low neighbour
+    Range3 send_high;  ///< plane at coordinate n-1, sent to the high neighbour
+    Range3 recv_low;   ///< halo at -1, filled by the low neighbour's high plane
+    Range3 recv_high;  ///< halo at n, filled by the high neighbour's low plane
+};
+
+/// Full three-stage plan for a local domain of extents `n`.
+struct HaloPlan {
+    std::array<DimExchange, 3> dims;
+
+    /// Build the plan. Transverse extents grow per stage so corner data
+    /// propagates: x uses interior j,k; y includes x halos; z includes both.
+    [[nodiscard]] static HaloPlan make(Extents3 n);
+
+    /// Number of doubles moved in one direction of stage `dim`.
+    [[nodiscard]] std::size_t message_count(int dim) const {
+        return dims[static_cast<std::size_t>(dim)].send_low.volume();
+    }
+};
+
+/// Copy `region` of `f` into a flat buffer, x fastest then y then z.
+void pack(const Field3& f, const Range3& region, std::span<double> out);
+[[nodiscard]] std::vector<double> pack(const Field3& f, const Range3& region);
+
+/// Inverse of pack.
+void unpack(Field3& f, const Range3& region, std::span<const double> in);
+
+/// Fill one dimension's halos from the opposite boundary of the same field
+/// (single-task periodic case, or a dimension in which a rank is its own
+/// neighbour). Uses the same staged transverse extents as HaloPlan.
+void fill_periodic_halo_dim(Field3& f, int dim);
+
+/// Fill all halos periodically, serialized x then y then z.
+void fill_periodic_halo(Field3& f);
+
+}  // namespace advect::core

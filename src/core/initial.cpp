@@ -1,0 +1,60 @@
+#include "core/initial.hpp"
+
+#include <cmath>
+
+namespace advect::core {
+namespace {
+
+/// Minimum-image displacement of x from center in a unit periodic domain.
+double min_image(double x, double center) {
+    double d = x - center;
+    d -= std::round(d);
+    return d;
+}
+
+/// Wrap a physical coordinate into [0, 1).
+double wrap01(double x) {
+    const double w = x - std::floor(x);
+    return w;
+}
+
+}  // namespace
+
+double GaussianWave::operator()(double x, double y, double z) const {
+    const double dx = min_image(x, center);
+    const double dy = min_image(y, center);
+    const double dz = min_image(z, center);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    return std::exp(-r2 / (2.0 * sigma * sigma));
+}
+
+double analytic_solution(const GaussianWave& wave, const Velocity3& c,
+                         double t, double x, double y, double z) {
+    return wave(wrap01(x - c.cx * t), wrap01(y - c.cy * t),
+                wrap01(z - c.cz * t));
+}
+
+void fill_initial(Field3& f, const Domain& dom, const GaussianWave& wave,
+                  const Index3& origin) {
+    const double d = dom.delta();
+    const auto n = f.extents();
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i)
+                f(i, j, k) = wave((origin.i + i) * d, (origin.j + j) * d,
+                                  (origin.k + k) * d);
+}
+
+void fill_analytic(Field3& f, const Domain& dom, const GaussianWave& wave,
+                   const Velocity3& c, double t, const Index3& origin) {
+    const double d = dom.delta();
+    const auto n = f.extents();
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i)
+                f(i, j, k) = analytic_solution(wave, c, t, (origin.i + i) * d,
+                                               (origin.j + j) * d,
+                                               (origin.k + k) * d);
+}
+
+}  // namespace advect::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file initial.hpp
+/// Initial condition and analytic solution for the test case (paper §II):
+/// a Gaussian wave at the center of a periodic unit cube, advected without
+/// change of shape by constant uniform velocity.
+
+#include "core/field.hpp"
+
+namespace advect::core {
+
+/// The global problem domain: a periodic cube of `n` points per dimension
+/// with unit side length, so grid spacing delta = 1 / n (point x_i = i*delta).
+struct Domain {
+    int n = 420;  ///< points per dimension (the paper uses 420).
+
+    [[nodiscard]] double delta() const { return 1.0 / n; }
+    [[nodiscard]] Extents3 extents() const { return {n, n, n}; }
+    [[nodiscard]] std::size_t volume() const { return extents().volume(); }
+};
+
+/// Gaussian wave parameters. The wave is centered at (0.5, 0.5, 0.5) with
+/// width sigma; periodic images are handled by the minimum-image convention
+/// (sigma << 1, so only the nearest image contributes measurably).
+struct GaussianWave {
+    double sigma = 0.08;
+    double center = 0.5;
+
+    /// Value of the initial condition at physical point (x, y, z) in [0,1)^3.
+    [[nodiscard]] double operator()(double x, double y, double z) const;
+};
+
+/// Analytic solution of Equation 1 at time t: the initial wave translated by
+/// c*t with periodic wrap.
+[[nodiscard]] double analytic_solution(const GaussianWave& wave,
+                                       const Velocity3& c, double t, double x,
+                                       double y, double z);
+
+/// Evaluate the initial condition on the sub-block of the global domain whose
+/// global origin is `origin` and whose local interior extents match `f`.
+/// Halo points are not written.
+void fill_initial(Field3& f, const Domain& dom, const GaussianWave& wave,
+                  const Index3& origin = {0, 0, 0});
+
+/// Evaluate the analytic solution at time t on a sub-block, for verification.
+void fill_analytic(Field3& f, const Domain& dom, const GaussianWave& wave,
+                   const Velocity3& c, double t,
+                   const Index3& origin = {0, 0, 0});
+
+}  // namespace advect::core

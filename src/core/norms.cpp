@@ -1,0 +1,42 @@
+#include "core/norms.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace advect::core {
+namespace {
+
+template <typename Value>
+Norms accumulate_norms(const Extents3& n, Value&& value) {
+    Norms out;
+    double sum1 = 0.0, sum2 = 0.0, mx = 0.0;
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i) {
+                const double v = std::fabs(value(i, j, k));
+                sum1 += v;
+                sum2 += v * v;
+                if (v > mx) mx = v;
+            }
+    const double count = static_cast<double>(n.volume());
+    out.l1 = count > 0 ? sum1 / count : 0.0;
+    out.l2 = count > 0 ? std::sqrt(sum2 / count) : 0.0;
+    out.linf = mx;
+    return out;
+}
+
+}  // namespace
+
+Norms norms(const Field3& f) {
+    return accumulate_norms(f.extents(),
+                            [&f](int i, int j, int k) { return f(i, j, k); });
+}
+
+Norms diff_norms(const Field3& a, const Field3& b) {
+    assert(a.extents() == b.extents());
+    return accumulate_norms(a.extents(), [&a, &b](int i, int j, int k) {
+        return a(i, j, k) - b(i, j, k);
+    });
+}
+
+}  // namespace advect::core

@@ -1,0 +1,25 @@
+#pragma once
+/// \file norms.hpp
+/// Error norms over field interiors; the paper verifies implementations by
+/// "recording norms of the difference between the computed state and the
+/// analytic state" (§IV-A).
+
+#include "core/field.hpp"
+
+namespace advect::core {
+
+/// L1, L2 (RMS-normalised), and Linf norms of a field or difference.
+struct Norms {
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double linf = 0.0;
+};
+
+/// Norms of the interior of `f`. l1 and l2 are normalised by point count
+/// (mean absolute value and root-mean-square) so they are grid-independent.
+[[nodiscard]] Norms norms(const Field3& f);
+
+/// Norms of the interior difference a - b (extents must match).
+[[nodiscard]] Norms diff_norms(const Field3& a, const Field3& b);
+
+}  // namespace advect::core

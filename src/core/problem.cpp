@@ -1,0 +1,46 @@
+#include "core/problem.hpp"
+
+#include "core/halo.hpp"
+#include "core/stencil.hpp"
+
+namespace advect::core {
+
+AdvectionProblem AdvectionProblem::standard(int n) {
+    AdvectionProblem p;
+    p.domain.n = n;
+    p.velocity = {1.0, 1.0, 1.0};
+    p.nu = max_stable_nu(p.velocity);
+    return p;
+}
+
+std::size_t total_flops(std::size_t points, int steps) {
+    return points * static_cast<std::size_t>(steps) *
+           static_cast<std::size_t>(kFlopsPerPoint);
+}
+
+double gflops(std::size_t points, int steps, double seconds) {
+    return static_cast<double>(total_flops(points, steps)) / seconds / 1e9;
+}
+
+Field3 run_reference(const AdvectionProblem& p, int steps) {
+    const auto coeffs = p.coeffs();
+    Field3 cur(p.domain.extents());
+    Field3 nxt(p.domain.extents());
+    fill_initial(cur, p.domain, p.wave);
+    for (int s = 0; s < steps; ++s) {
+        fill_periodic_halo(cur);
+        apply_stencil(coeffs, cur, nxt);
+        cur.swap(nxt);
+    }
+    return cur;
+}
+
+Norms error_vs_analytic(const AdvectionProblem& p, const Field3& state,
+                        int steps, const Index3& origin) {
+    Field3 exact(state.extents());
+    fill_analytic(exact, p.domain, p.wave, p.velocity, p.time_at(steps),
+                  origin);
+    return diff_norms(state, exact);
+}
+
+}  // namespace advect::core

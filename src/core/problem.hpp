@@ -1,0 +1,53 @@
+#pragma once
+/// \file problem.hpp
+/// The complete test-case description (paper §II): periodic cube, Gaussian
+/// initial wave, constant uniform velocity, explicit Lax-Wendroff stepping
+/// at the maximum stable nu, with performance reported in GF from the
+/// analytic 53 flops/point count.
+
+#include "core/coefficients.hpp"
+#include "core/initial.hpp"
+#include "core/norms.hpp"
+
+namespace advect::core {
+
+/// Full problem specification; `standard(n)` reproduces the paper's setup.
+struct AdvectionProblem {
+    Domain domain{};
+    Velocity3 velocity{1.0, 1.0, 1.0};
+    GaussianWave wave{};
+    double nu = 1.0;  ///< time-step ratio Delta/delta; <= 1/max|c| for stability
+
+    /// The paper's configuration: n^3 periodic grid, c = (1,1,1), maximum
+    /// stable nu. (The paper runs n = 420; tests use smaller n.)
+    [[nodiscard]] static AdvectionProblem standard(int n = 420);
+
+    /// Stencil coefficients for this velocity and nu.
+    [[nodiscard]] StencilCoeffs coeffs() const {
+        return tensor_product_coeffs(velocity, nu);
+    }
+    /// Time step Delta = nu * delta.
+    [[nodiscard]] double dt() const { return nu * domain.delta(); }
+    /// Simulated time after `steps` steps.
+    [[nodiscard]] double time_at(int steps) const { return steps * dt(); }
+};
+
+/// Total floating-point operations for `points` grid points over `steps`
+/// steps (53 flops per point per step, paper §II).
+[[nodiscard]] std::size_t total_flops(std::size_t points, int steps);
+
+/// Performance in GF (1e9 flop/s) given measured (or modelled) seconds.
+[[nodiscard]] double gflops(std::size_t points, int steps, double seconds);
+
+/// Reference solution: single-threaded, single-task stepping of the full
+/// domain (periodic halo fill + stencil + state swap). All nine
+/// implementations are verified bitwise against this.
+[[nodiscard]] Field3 run_reference(const AdvectionProblem& p, int steps);
+
+/// Error norms of a computed state against the analytic solution at the time
+/// reached after `steps` steps.
+[[nodiscard]] Norms error_vs_analytic(const AdvectionProblem& p,
+                                      const Field3& state, int steps,
+                                      const Index3& origin = {0, 0, 0});
+
+}  // namespace advect::core

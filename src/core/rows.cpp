@@ -1,0 +1,57 @@
+#include "core/rows.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/stencil.hpp"
+
+namespace advect::core {
+
+RowSpace::RowSpace(std::vector<Range3> regions) : regions_(std::move(regions)) {
+    prefix_.reserve(regions_.size() + 1);
+    prefix_.push_back(0);
+    for (const auto& r : regions_) {
+        const auto e = r.extents();
+        total_ += static_cast<std::int64_t>(e.ny) * e.nz;
+        prefix_.push_back(total_);
+    }
+}
+
+std::size_t RowSpace::points() const {
+    std::size_t p = 0;
+    for (const auto& r : regions_) p += r.volume();
+    return p;
+}
+
+RowSpace::Row RowSpace::row(std::int64_t flat) const {
+    assert(flat >= 0 && flat < total_);
+    // Find the region containing this flat row (regions lists are short; a
+    // linear scan beats binary search in practice, but upper_bound is O(log)).
+    const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), flat);
+    const auto ri = static_cast<std::size_t>(it - prefix_.begin() - 1);
+    const auto& r = regions_[ri];
+    const std::int64_t local = flat - prefix_[ri];
+    const int ny = r.hi.j - r.lo.j;
+    return Row{r.lo.i, r.hi.i, r.lo.j + static_cast<int>(local % ny),
+               r.lo.k + static_cast<int>(local / ny)};
+}
+
+void apply_stencil_rows(const StencilCoeffs& a, const Field3& in, Field3& out,
+                        const RowSpace& rows, std::int64_t lo,
+                        std::int64_t hi) {
+    for (std::int64_t f = lo; f < hi; ++f) {
+        const auto r = rows.row(f);
+        for (int i = r.xlo; i < r.xhi; ++i)
+            out(i, r.j, r.k) = stencil_point(a, in, i, r.j, r.k);
+    }
+}
+
+void copy_rows(const Field3& src, Field3& dst, const RowSpace& rows,
+               std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t f = lo; f < hi; ++f) {
+        const auto r = rows.row(f);
+        for (int i = r.xlo; i < r.xhi; ++i) dst(i, r.j, r.k) = src(i, r.j, r.k);
+    }
+}
+
+}  // namespace advect::core

@@ -1,0 +1,54 @@
+#pragma once
+/// \file rows.hpp
+/// Flattened iteration over the (k, j) rows of a list of regions. The
+/// paper's OpenMP implementations parallelise the outer two loops of the
+/// triply nested stencil/copy loops with collapse(2); RowSpace provides the
+/// same flattened iteration space for arbitrary region lists (whole
+/// interior, boundary slabs, CPU box walls, ...) so that every
+/// implementation schedules work over x-contiguous rows.
+
+#include <span>
+#include <vector>
+
+#include "core/coefficients.hpp"
+#include "core/field.hpp"
+
+namespace advect::core {
+
+/// Iteration space of all x-rows (fixed j, k) of a list of disjoint regions.
+class RowSpace {
+  public:
+    RowSpace() = default;
+    explicit RowSpace(std::vector<Range3> regions);
+
+    /// Total number of rows across all regions.
+    [[nodiscard]] std::int64_t size() const { return total_; }
+    /// Total number of points across all regions.
+    [[nodiscard]] std::size_t points() const;
+
+    /// One x-row: [xlo, xhi) at fixed (j, k).
+    struct Row {
+        int xlo, xhi, j, k;
+    };
+    /// Decode a flat row index (0 <= flat < size()).
+    [[nodiscard]] Row row(std::int64_t flat) const;
+
+    [[nodiscard]] std::span<const Range3> regions() const { return regions_; }
+
+  private:
+    std::vector<Range3> regions_;
+    std::vector<std::int64_t> prefix_;  // prefix row counts per region
+    std::int64_t total_ = 0;
+};
+
+/// Apply the stencil to rows [lo, hi) of `rows`: the unit of work handed to
+/// one scheduler chunk in the OpenMP-style implementations.
+void apply_stencil_rows(const StencilCoeffs& a, const Field3& in, Field3& out,
+                        const RowSpace& rows, std::int64_t lo, std::int64_t hi);
+
+/// Copy rows [lo, hi) from `src` to `dst` (the paper's Step 3, "copy the new
+/// state to the current state").
+void copy_rows(const Field3& src, Field3& dst, const RowSpace& rows,
+               std::int64_t lo, std::int64_t hi);
+
+}  // namespace advect::core

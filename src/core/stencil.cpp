@@ -1,0 +1,82 @@
+#include "core/stencil.hpp"
+
+#include <cassert>
+
+namespace advect::core {
+
+double stencil_point(const StencilCoeffs& a, const Field3& in, int i, int j,
+                     int k) {
+    double s = 0.0;
+    for (int dk = -1; dk <= 1; ++dk)
+        for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di)
+                s += a.at(di, dj, dk) * in(i + di, j + dj, k + dk);
+    return s;
+}
+
+void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
+                   const Range3& r) {
+    assert(in.extents() == out.extents());
+    const auto n = in.extents();
+    assert(r.lo.i >= 0 && r.hi.i <= n.nx);
+    assert(r.lo.j >= 0 && r.hi.j <= n.ny);
+    assert(r.lo.k >= 0 && r.hi.k <= n.nz);
+    (void)n;
+    for (int k = r.lo.k; k < r.hi.k; ++k)
+        for (int j = r.lo.j; j < r.hi.j; ++j)
+            for (int i = r.lo.i; i < r.hi.i; ++i)
+                out(i, j, k) = stencil_point(a, in, i, j, k);
+}
+
+void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out) {
+    apply_stencil(a, in, out, in.interior());
+}
+
+InteriorBoundary partition_interior_boundary(const Extents3& n) {
+    InteriorBoundary p;
+    p.interior = {{1, 1, 1}, {n.nx - 1, n.ny - 1, n.nz - 1}};
+    if (p.interior.empty()) p.interior = {{0, 0, 0}, {0, 0, 0}};
+
+    auto push = [&p](Range3 r) {
+        if (!r.empty()) p.boundary.push_back(r);
+    };
+    // z-low and z-high full xy slabs (only one slab when nz == 1).
+    push({{0, 0, 0}, {n.nx, n.ny, 1}});
+    if (n.nz > 1) push({{0, 0, n.nz - 1}, {n.nx, n.ny, n.nz}});
+    if (n.nz > 2) {
+        const int zl = 1, zh = n.nz - 1;
+        // y-low / y-high strips excluding the z slabs.
+        push({{0, 0, zl}, {n.nx, 1, zh}});
+        if (n.ny > 1) push({{0, n.ny - 1, zl}, {n.nx, n.ny, zh}});
+        if (n.ny > 2) {
+            const int yl = 1, yh = n.ny - 1;
+            // x-low / x-high pencils excluding the z and y pieces.
+            push({{0, yl, zl}, {1, yh, zh}});
+            if (n.nx > 1) push({{n.nx - 1, yl, zl}, {n.nx, yh, zh}});
+        }
+    }
+    return p;
+}
+
+std::vector<Range3> split_z(const Range3& r, int parts) {
+    assert(parts >= 1);
+    std::vector<Range3> out;
+    const int nz = r.hi.k - r.lo.k;
+    if (nz <= 0) return out;
+    const int base = nz / parts;
+    const int extra = nz % parts;
+    int k = r.lo.k;
+    for (int p = 0; p < parts; ++p) {
+        const int len = base + (p < extra ? 1 : 0);
+        if (len > 0) {
+            Range3 s = r;
+            s.lo.k = k;
+            s.hi.k = k + len;
+            out.push_back(s);
+        }
+        k += len;
+    }
+    return out;
+}
+
+}  // namespace advect::core

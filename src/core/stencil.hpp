@@ -1,0 +1,49 @@
+#pragma once
+/// \file stencil.hpp
+/// Application of the 27-point Lax-Wendroff stencil (Equation 2) over
+/// sub-regions of a halo-padded field. All implementations in the paper —
+/// bulk-synchronous, interior/boundary partitioned, GPU-tiled — reduce to
+/// applying this same update over different Range3 partitions, so keeping a
+/// single kernel here guarantees bitwise-identical arithmetic everywhere.
+
+#include "core/coefficients.hpp"
+#include "core/field.hpp"
+
+namespace advect::core {
+
+/// Apply Equation 2 over the half-open region `r` (which must lie within the
+/// interior of `in`): out(p) = sum_{dk,dj,di} a(di,dj,dk) * in(p + d).
+/// The summation order is fixed (dk outer, di inner) so every code path in
+/// advectlab produces bitwise-identical results.
+void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
+                   const Range3& r);
+
+/// Convenience: apply over the whole interior.
+void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out);
+
+/// Single-point update, shared by the region kernel and the simulated-GPU
+/// kernels so that arithmetic order is identical on "CPU" and "GPU".
+[[nodiscard]] double stencil_point(const StencilCoeffs& a, const Field3& in,
+                                   int i, int j, int k);
+
+/// Partition of a local domain into boundary shell and interior used by the
+/// overlap implementations (paper §IV-C, §IV-D): boundary points are those
+/// that touch halo points; interior points are the rest.
+struct InteriorBoundary {
+    /// The deep-interior box [1, n-1)^3 (empty if any extent < 3).
+    Range3 interior;
+    /// Up to 6 disjoint slabs covering the one-point-thick boundary shell.
+    /// Listed z-low, z-high, y-low, y-high, x-low, x-high; empty slabs are
+    /// omitted.
+    std::vector<Range3> boundary;
+};
+
+/// Compute the interior/boundary partition of extents `n`.
+[[nodiscard]] InteriorBoundary partition_interior_boundary(const Extents3& n);
+
+/// Split `r` into `parts` roughly equal slabs along the z dimension
+/// (paper §IV-C splits the interior into thirds along z). Slabs may be empty
+/// when r is thin; non-empty slabs differ in z-extent by at most 1.
+[[nodiscard]] std::vector<Range3> split_z(const Range3& r, int parts);
+
+}  // namespace advect::core

@@ -1,0 +1,160 @@
+#include "des/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace advect::des {
+
+ResourceId Engine::add_resource(std::string name, int capacity) {
+    if (capacity < 1)
+        throw std::invalid_argument("Engine: resource capacity must be >= 1");
+    resources_.push_back(Resource{std::move(name), capacity});
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId Engine::add_task(std::string name, double duration,
+                        std::vector<Claim> claims, std::vector<TaskId> deps) {
+    if (duration < 0.0)
+        throw std::invalid_argument("Engine: negative duration");
+    const auto id = static_cast<TaskId>(tasks_.size());
+    for (const auto& c : claims) {
+        if (c.resource < 0 ||
+            static_cast<std::size_t>(c.resource) >= resources_.size())
+            throw std::invalid_argument("Engine: unknown resource");
+        if (c.units < 1 ||
+            c.units > resources_[static_cast<std::size_t>(c.resource)].capacity)
+            throw std::logic_error(
+                "Engine: claim exceeds resource capacity for task " + name);
+    }
+    for (TaskId d : deps)
+        if (d < 0 || d >= id)
+            throw std::invalid_argument("Engine: dependency must precede task");
+    Task t;
+    t.name = std::move(name);
+    t.duration = duration;
+    t.claims = std::move(claims);
+    t.deps = std::move(deps);
+    tasks_.push_back(std::move(t));
+    return id;
+}
+
+bool Engine::can_start(const Task& t) const {
+    for (const auto& c : t.claims) {
+        const auto& r = resources_[static_cast<std::size_t>(c.resource)];
+        if (r.in_use + c.units > r.capacity) return false;
+    }
+    return true;
+}
+
+void Engine::claim(const Task& t) {
+    for (const auto& c : t.claims)
+        resources_[static_cast<std::size_t>(c.resource)].in_use += c.units;
+}
+
+void Engine::release(const Task& t) {
+    for (const auto& c : t.claims) {
+        auto& r = resources_[static_cast<std::size_t>(c.resource)];
+        r.in_use -= c.units;
+        r.busy += t.duration * c.units / r.capacity;
+    }
+}
+
+double Engine::run() {
+    if (ran_) throw std::logic_error("Engine: run() called twice");
+    ran_ = true;
+
+    for (auto& t : tasks_) {
+        t.unmet_deps = static_cast<int>(t.deps.size());
+        for (TaskId d : t.deps)
+            tasks_[static_cast<std::size_t>(d)].dependents.push_back(
+                static_cast<TaskId>(&t - tasks_.data()));
+    }
+
+    std::vector<TaskId> ready;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (tasks_[i].unmet_deps == 0) ready.push_back(static_cast<TaskId>(i));
+
+    // Min-heap of running tasks by (finish, id).
+    using Running = std::pair<double, TaskId>;
+    std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+
+    double now = 0.0;
+    std::size_t completed = 0;
+    while (completed < tasks_.size()) {
+        // Start every ready task whose claims fit, in (ready_at, id) order;
+        // graphs encode any required FIFO (e.g. stream order) as deps, so
+        // backfilling past a blocked task is safe.
+        std::sort(ready.begin(), ready.end(), [this](TaskId a, TaskId b) {
+            const auto& ta = tasks_[static_cast<std::size_t>(a)];
+            const auto& tb = tasks_[static_cast<std::size_t>(b)];
+            if (ta.ready_at != tb.ready_at) return ta.ready_at < tb.ready_at;
+            return a < b;
+        });
+        bool started_any = true;
+        while (started_any) {
+            started_any = false;
+            for (std::size_t i = 0; i < ready.size(); ++i) {
+                auto& t = tasks_[static_cast<std::size_t>(ready[i])];
+                if (t.ready_at > now || !can_start(t)) continue;
+                claim(t);
+                t.start = now;
+                t.finish = now + t.duration;
+                running.emplace(t.finish, ready[i]);
+                ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+                started_any = true;
+                break;
+            }
+        }
+
+        if (running.empty()) {
+            if (ready.empty())
+                throw std::logic_error("Engine: dependency cycle detected");
+            // Advance to the earliest future readiness.
+            double next = std::numeric_limits<double>::infinity();
+            for (TaskId r : ready)
+                next = std::min(next,
+                                tasks_[static_cast<std::size_t>(r)].ready_at);
+            if (next <= now)
+                throw std::logic_error("Engine: scheduler stalled");
+            now = next;
+            continue;
+        }
+
+        const auto [finish, id] = running.top();
+        running.pop();
+        now = finish;
+        auto& t = tasks_[static_cast<std::size_t>(id)];
+        t.done = true;
+        release(t);
+        trace_.push_back(Interval{id, t.start, t.finish});
+        ++completed;
+        makespan_ = std::max(makespan_, t.finish);
+        for (TaskId dep : t.dependents) {
+            auto& d = tasks_[static_cast<std::size_t>(dep)];
+            d.ready_at = std::max(d.ready_at, t.finish);
+            if (--d.unmet_deps == 0) ready.push_back(dep);
+        }
+    }
+
+    std::sort(trace_.begin(), trace_.end(),
+              [](const Interval& a, const Interval& b) {
+                  return a.start < b.start;
+              });
+    return makespan_;
+}
+
+double Engine::finish_time(TaskId t) const {
+    return tasks_[static_cast<std::size_t>(t)].finish;
+}
+
+double Engine::start_time(TaskId t) const {
+    return tasks_[static_cast<std::size_t>(t)].start;
+}
+
+double Engine::utilization(ResourceId r) const {
+    if (makespan_ <= 0.0) return 0.0;
+    return resources_[static_cast<std::size_t>(r)].busy / makespan_;
+}
+
+}  // namespace advect::des

@@ -1,0 +1,57 @@
+#include "des/trace_format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace advect::des {
+
+std::string render_intervals(const Engine& engine) {
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-12s %12s %12s %12s\n", "task",
+                  "start", "end", "duration");
+    out += line;
+    for (const auto& iv : engine.trace()) {
+        std::snprintf(line, sizeof line, "%-12.12s %12.6f %12.6f %12.6f\n",
+                      engine.task_name(iv.task).c_str(), iv.start, iv.end,
+                      iv.end - iv.start);
+        out += line;
+    }
+    return out;
+}
+
+std::string render_gantt(const Engine& engine, const GanttOptions& options) {
+    const auto& trace = engine.trace();
+    if (trace.empty()) return "(empty trace)\n";
+    double span = 0.0;
+    for (const auto& iv : trace) span = std::max(span, iv.end);
+    if (span <= 0.0) span = 1.0;
+
+    std::string out;
+    char line[256];
+    const int width = std::max(8, options.width);
+    std::snprintf(line, sizeof line, "time 0 .. %.6f s, %d cols\n", span,
+                  width);
+    out += line;
+    std::size_t rows = 0;
+    for (const auto& iv : trace) {
+        if (rows++ >= options.max_rows) {
+            std::snprintf(line, sizeof line, "... (%zu more tasks)\n",
+                          trace.size() - options.max_rows);
+            out += line;
+            break;
+        }
+        const int from = static_cast<int>(iv.start / span * width);
+        const int to = std::max(
+            from + 1, static_cast<int>(iv.end / span * width));
+        std::string bar(static_cast<std::size_t>(width), ' ');
+        for (int c = from; c < std::min(to, width); ++c)
+            bar[static_cast<std::size_t>(c)] = '#';
+        std::snprintf(line, sizeof line, "%-10.10s |%s|\n",
+                      engine.task_name(iv.task).c_str(), bar.c_str());
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace advect::des

@@ -1,0 +1,29 @@
+#pragma once
+/// \file trace_format.hpp
+/// Text rendering of an engine run: a per-task interval listing and an
+/// ASCII Gantt chart. Useful for debugging schedule builders and for
+/// showing *why* an implementation's step takes the time it does (which
+/// operations sat on the critical path, what overlapped what).
+
+#include <string>
+
+#include "des/engine.hpp"
+
+namespace advect::des {
+
+/// Options for render_gantt.
+struct GanttOptions {
+    int width = 72;          ///< columns available for the time axis
+    std::size_t max_rows = 64;  ///< truncate very large traces
+};
+
+/// One line per executed task: name, start, end, duration — sorted by
+/// start time. Call after Engine::run().
+[[nodiscard]] std::string render_intervals(const Engine& engine);
+
+/// ASCII Gantt: one row per task, '#' spans the execution interval scaled
+/// onto `width` columns. Rows are sorted by start time. Call after run().
+[[nodiscard]] std::string render_gantt(const Engine& engine,
+                                       const GanttOptions& options = {});
+
+}  // namespace advect::des

@@ -1,0 +1,199 @@
+#include "gpu/device.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace advect::gpu {
+
+Device::Device(DeviceProps props)
+    : props_(std::move(props)),
+      constants_(8192, 0.0),
+      executor_([this] { executor_loop(); }) {}
+
+Device::~Device() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+}
+
+DeviceBuffer Device::alloc(std::size_t count) {
+    const std::size_t bytes = count * sizeof(double);
+    {
+        std::lock_guard lock(mu_);
+        if (allocated_ + bytes > props_.global_mem_bytes)
+            throw std::runtime_error("gpu: out of global memory on " +
+                                     props_.name);
+        allocated_ += bytes;
+    }
+    // The deleter updates accounting through the device pointer; buffers must
+    // not outlive their device (as in CUDA).
+    auto storage = std::shared_ptr<std::vector<double>>(
+        new std::vector<double>(count, 0.0), [this, bytes](auto* p) {
+            delete p;
+            std::lock_guard lock(mu_);
+            allocated_ -= bytes;
+        });
+    return DeviceBuffer(std::move(storage));
+}
+
+std::size_t Device::allocated_bytes() const {
+    std::lock_guard lock(mu_);
+    return allocated_;
+}
+
+Stream Device::create_stream() {
+    auto state = std::make_shared<detail::StreamState>();
+    {
+        std::lock_guard lock(mu_);
+        streams_.push_back(state);
+    }
+    return Stream(this, std::move(state));
+}
+
+void Device::set_constants(std::span<const double> values) {
+    if (values.size() > constants_.size())
+        throw std::invalid_argument("gpu: constant memory is 8192 doubles");
+    synchronize();
+    std::copy(values.begin(), values.end(), constants_.begin());
+}
+
+void Device::synchronize() {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [this] { return idle_locked(); });
+}
+
+bool Device::idle_locked() const {
+    for (const auto& s : streams_)
+        if (s->busy || !s->queue.empty()) return false;
+    return true;
+}
+
+void Device::enqueue(detail::StreamState& stream, detail::Op op) {
+    assert(op.completion);
+    {
+        std::lock_guard lock(mu_);
+        stream.queue.push_back(std::move(op));
+    }
+    work_cv_.notify_all();
+}
+
+void Device::executor_loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+        detail::StreamState* owner = nullptr;
+        detail::Op op;
+        for (auto& s : streams_) {
+            if (s->busy || s->queue.empty()) continue;
+            auto& front = s->queue.front();
+            if (front.gate && !front.gate->is_done()) continue;
+            op = std::move(front);
+            s->queue.pop_front();
+            s->busy = true;
+            owner = s.get();
+            break;
+        }
+        if (!owner) {
+            if (stop_) return;  // all queues drained (or gated forever)
+            work_cv_.wait(lock);
+            continue;
+        }
+        lock.unlock();
+        if (op.run) op.run();
+        op.completion->complete();
+        // Drop the op's captures (buffer references) before reporting idle,
+        // so RAII memory accounting settles no later than synchronize().
+        op = detail::Op{};
+        lock.lock();
+        owner->busy = false;
+        idle_cv_.notify_all();
+    }
+}
+
+void Stream::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
+                        std::span<const double> src) {
+    if (dst_offset + src.size() > dst.size())
+        throw std::out_of_range("gpu: h2d copy out of range");
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    op.run = [storage = dst.data_, dst_offset, src] {
+        std::copy(src.begin(), src.end(), storage->begin() +
+                                              static_cast<std::ptrdiff_t>(dst_offset));
+    };
+    device_->enqueue(*state_, std::move(op));
+}
+
+void Stream::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src,
+                        std::size_t src_offset) {
+    if (src_offset + dst.size() > src.size())
+        throw std::out_of_range("gpu: d2h copy out of range");
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    op.run = [storage = src.data_, src_offset, dst] {
+        std::copy(storage->begin() + static_cast<std::ptrdiff_t>(src_offset),
+                  storage->begin() +
+                      static_cast<std::ptrdiff_t>(src_offset + dst.size()),
+                  dst.begin());
+    };
+    device_->enqueue(*state_, std::move(op));
+}
+
+void Stream::memcpy_d2d(DeviceBuffer& dst, std::size_t dst_offset,
+                        const DeviceBuffer& src, std::size_t src_offset,
+                        std::size_t count) {
+    if (src_offset + count > src.size() || dst_offset + count > dst.size())
+        throw std::out_of_range("gpu: d2d copy out of range");
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    op.run = [d = dst.data_, s = src.data_, dst_offset, src_offset, count] {
+        std::copy(s->begin() + static_cast<std::ptrdiff_t>(src_offset),
+                  s->begin() + static_cast<std::ptrdiff_t>(src_offset + count),
+                  d->begin() + static_cast<std::ptrdiff_t>(dst_offset));
+    };
+    device_->enqueue(*state_, std::move(op));
+}
+
+void Stream::launch(Dim3 grid, Dim3 block, std::size_t shared_doubles,
+                    std::function<void(Dim3, Dim3, std::span<double>)> body) {
+    device_->props().validate_launch(block, shared_doubles * sizeof(double));
+    if (grid.x < 1 || grid.y < 1 || grid.z < 1)
+        throw std::invalid_argument("launch: grid dimensions must be >= 1");
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    op.is_kernel = true;
+    op.run = [grid, block, shared_doubles, body = std::move(body)] {
+        std::vector<double> shared(shared_doubles);
+        for (int bz = 0; bz < grid.z; ++bz)
+            for (int by = 0; by < grid.y; ++by)
+                for (int bx = 0; bx < grid.x; ++bx) {
+                    std::fill(shared.begin(), shared.end(), 0.0);
+                    body(Dim3{bx, by, bz}, block, shared);
+                }
+    };
+    device_->enqueue(*state_, std::move(op));
+}
+
+Event Stream::record_event() {
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    Event e(op.completion);
+    device_->enqueue(*state_, std::move(op));
+    return e;
+}
+
+void Stream::wait_event(const Event& e) {
+    if (!e.state_) return;
+    detail::Op op;
+    op.completion = std::make_shared<detail::EventState>();
+    op.gate = e.state_;
+    device_->enqueue(*state_, std::move(op));
+}
+
+void Stream::synchronize() {
+    // An event at the tail completes exactly when all prior work has.
+    record_event().synchronize();
+}
+
+}  // namespace advect::gpu

@@ -1,0 +1,49 @@
+#include "gpu/types.hpp"
+
+#include <stdexcept>
+
+namespace advect::gpu {
+
+DeviceProps DeviceProps::tesla_c1060() {
+    DeviceProps p;
+    p.name = "Tesla C1060";
+    p.warp_size = 32;
+    p.max_threads_per_block = 512;
+    p.max_threads_per_sm = 1024;
+    p.max_blocks_per_sm = 8;
+    p.shared_mem_per_block = 16 * 1024;
+    p.global_mem_bytes = 4ull << 30;
+    p.multiprocessors = 30;
+    p.concurrent_kernels = false;
+    return p;
+}
+
+DeviceProps DeviceProps::tesla_c2050() {
+    DeviceProps p;
+    p.name = "Tesla C2050";
+    p.warp_size = 32;
+    p.max_threads_per_block = 1024;
+    p.max_threads_per_sm = 1536;
+    p.max_blocks_per_sm = 8;
+    p.shared_mem_per_block = 48 * 1024;
+    p.global_mem_bytes = 3ull << 30;
+    p.multiprocessors = 14;
+    p.concurrent_kernels = true;
+    return p;
+}
+
+void DeviceProps::validate_launch(const Dim3& block,
+                                  std::size_t shared_bytes) const {
+    if (block.x < 1 || block.y < 1 || block.z < 1)
+        throw std::invalid_argument("launch: block dimensions must be >= 1");
+    if (block.count() > max_threads_per_block)
+        throw std::invalid_argument("launch: block exceeds max threads (" +
+                                    std::to_string(max_threads_per_block) +
+                                    ") on " + name);
+    if (shared_bytes > shared_mem_per_block)
+        throw std::invalid_argument("launch: shared memory request exceeds " +
+                                    std::to_string(shared_mem_per_block) +
+                                    " bytes on " + name);
+}
+
+}  // namespace advect::gpu

@@ -1,0 +1,52 @@
+#pragma once
+/// \file types.hpp
+/// Basic types of the simulated CUDA device: launch geometry and device
+/// properties for the two GPU generations the paper tests (Tesla C1060 on
+/// Lens, Tesla C2050 on Yona).
+
+#include <cstddef>
+#include <string>
+
+namespace advect::gpu {
+
+/// CUDA-style 3-component extent for grids and blocks.
+struct Dim3 {
+    int x = 1;
+    int y = 1;
+    int z = 1;
+
+    friend bool operator==(const Dim3&, const Dim3&) = default;
+    [[nodiscard]] long long count() const {
+        return static_cast<long long>(x) * y * z;
+    }
+};
+
+/// Device properties relevant to the paper's experiments. Values follow the
+/// CUDA compute-capability 1.3 (C1060) and 2.0 (C2050) specifications.
+struct DeviceProps {
+    std::string name;
+    int warp_size = 32;
+    int max_threads_per_block = 512;
+    long long max_threads_per_sm = 1024;
+    int max_blocks_per_sm = 8;
+    std::size_t shared_mem_per_block = 16 * 1024;
+    std::size_t global_mem_bytes = 4ull << 30;
+    int multiprocessors = 30;
+    /// cc 2.0 can run kernels from different streams concurrently; cc 1.3
+    /// serializes all kernels device-wide (copies may still overlap
+    /// kernels). §IV-G: "on some GPUs, the boundary computation" overlaps.
+    bool concurrent_kernels = false;
+
+    /// Tesla C1060 (Lens): cc 1.3, 30 SMs, 16 KB shared, 4 GB, 512
+    /// threads/block.
+    [[nodiscard]] static DeviceProps tesla_c1060();
+    /// Tesla C2050 (Yona): cc 2.0, 14 SMs, 48 KB shared, 3 GB, 1024
+    /// threads/block, concurrent kernels.
+    [[nodiscard]] static DeviceProps tesla_c2050();
+
+    /// Validate a launch configuration; throws std::invalid_argument with a
+    /// descriptive message on violation.
+    void validate_launch(const Dim3& block, std::size_t shared_bytes) const;
+};
+
+}  // namespace advect::gpu

@@ -1,0 +1,156 @@
+#include "impl/device_field.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/halo.hpp"
+
+namespace advect::impl {
+
+void upload_coefficients(gpu::Device& device, const core::StencilCoeffs& a) {
+    device.set_constants(a.a);
+}
+
+void launch_stencil(gpu::Stream& stream, gpu::Device& device,
+                    const DeviceField& in, DeviceField& out,
+                    const core::Range3& region, int bx, int by) {
+    assert(in.extents() == out.extents());
+    if (region.empty()) return;
+    const auto n = in.extents();
+    const auto e = region.extents();
+    const gpu::Dim3 grid{(e.nx + bx - 1) / bx, (e.ny + by - 1) / by, 1};
+    const gpu::Dim3 block{bx + 2, by + 2, 1};  // fringe = halo threads
+    const int tx = bx + 2, ty = by + 2;
+    const std::size_t plane = static_cast<std::size_t>(tx) * ty;
+    const std::size_t shared_doubles = 3 * plane;  // rotating z-1, z, z+1
+
+    auto consts = device.constants();
+    auto src = in.buffer().span();
+    auto dst = out.buffer().span();
+    // Copies hold the buffer handles alive until the op has run, and carry
+    // the extents for offset math.
+    const DeviceField in_layout = in;
+    const DeviceField out_hold = out;
+
+    stream.launch(grid, block, shared_doubles, [=, lo = region.lo,
+                                                hi = region.hi](
+                                                   gpu::Dim3 bidx, gpu::Dim3,
+                                                   std::span<double> shared) {
+        (void)out_hold;  // keeps the output buffer alive until the op runs
+        const int x0 = lo.i + bidx.x * bx;  // first computed x of this block
+        const int y0 = lo.j + bidx.y * by;
+        const int cx = std::min(bx, hi.i - x0);  // computed extent
+        const int cy = std::min(by, hi.j - y0);
+        double* tile[3] = {shared.data(), shared.data() + plane,
+                           shared.data() + 2 * plane};
+
+        // Halo threads included: load rows [x0-1, x0+bx] x [y0-1, y0+by] of
+        // plane k, guarded against the padded bounds for edge blocks.
+        auto load_plane = [&](double* t, int k) {
+            for (int lty = 0; lty < ty; ++lty) {
+                const int gy = y0 - 1 + lty;
+                if (gy < -1 || gy > n.ny) continue;
+                for (int ltx = 0; ltx < tx; ++ltx) {
+                    const int gx = x0 - 1 + ltx;
+                    if (gx < -1 || gx > n.nx) continue;
+                    t[static_cast<std::size_t>(lty) * tx + ltx] =
+                        src[in_layout.offset(gx, gy, k)];
+                }
+            }
+        };
+
+        load_plane(tile[0], lo.k - 1);
+        load_plane(tile[1], lo.k);
+        for (int k = lo.k; k < hi.k; ++k) {
+            load_plane(tile[2], k + 1);
+            for (int ly = 0; ly < cy; ++ly)
+                for (int lx = 0; lx < cx; ++lx) {
+                    // Same summation order as core::stencil_point: dk outer,
+                    // di inner, so results are bitwise identical to the CPU.
+                    double s = 0.0;
+                    for (int dk = -1; dk <= 1; ++dk) {
+                        const double* t = tile[dk + 1];
+                        for (int dj = -1; dj <= 1; ++dj)
+                            for (int di = -1; di <= 1; ++di)
+                                s += consts[static_cast<std::size_t>(
+                                         core::StencilCoeffs::index(di, dj,
+                                                                    dk))] *
+                                     t[static_cast<std::size_t>(ly + 1 + dj) *
+                                           tx +
+                                       (lx + 1 + di)];
+                    }
+                    dst[in_layout.offset(x0 + lx, y0 + ly, k)] = s;
+                }
+            std::rotate(&tile[0], &tile[1], &tile[3]);  // z planes advance
+        }
+    });
+}
+
+void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim) {
+    const auto n = f.extents();
+    const auto plan = core::HaloPlan::make(n);
+    const auto& e = plan.dims[static_cast<std::size_t>(dim)];
+    auto data = f.buffer().span();
+    const DeviceField layout = f;
+    const int shift = n[dim];
+
+    // Copy halo <- opposite boundary for both sides; a single-block kernel
+    // (this is a memory-only operation, like the paper's halo threads).
+    stream.launch({1, 1, 1}, {1, 1, 1}, 0,
+                  [=](gpu::Dim3, gpu::Dim3, std::span<double>) {
+                      auto copy = [&](const core::Range3& dst_region, int s) {
+                          for (int k = dst_region.lo.k; k < dst_region.hi.k; ++k)
+                              for (int j = dst_region.lo.j; j < dst_region.hi.j;
+                                   ++j)
+                                  for (int i = dst_region.lo.i;
+                                       i < dst_region.hi.i; ++i) {
+                                      int si = i, sj = j, sk = k;
+                                      if (dim == 0) si += s;
+                                      else if (dim == 1) sj += s;
+                                      else sk += s;
+                                      data[layout.offset(i, j, k)] =
+                                          data[layout.offset(si, sj, sk)];
+                                  }
+                      };
+                      copy(e.recv_low, shift);    // halo -1 <- plane n-1
+                      copy(e.recv_high, -shift);  // halo n <- plane 0
+                  });
+}
+
+void launch_pack(gpu::Stream& stream, const DeviceField& f,
+                 const core::Range3& region, gpu::DeviceBuffer& staging,
+                 std::size_t offset) {
+    assert(offset + region.volume() <= staging.size());
+    auto src = f.buffer().span();
+    auto dst = staging.span();
+    const DeviceField layout = f;
+    stream.launch({1, 1, 1}, {1, 1, 1}, 0,
+                  [=, hold = staging](gpu::Dim3, gpu::Dim3, std::span<double>) {
+                      (void)hold;
+                      std::size_t idx = offset;
+                      for (int k = region.lo.k; k < region.hi.k; ++k)
+                          for (int j = region.lo.j; j < region.hi.j; ++j)
+                              for (int i = region.lo.i; i < region.hi.i; ++i)
+                                  dst[idx++] = src[layout.offset(i, j, k)];
+                  });
+}
+
+void launch_unpack(gpu::Stream& stream, DeviceField& f,
+                   const core::Range3& region, const gpu::DeviceBuffer& staging,
+                   std::size_t offset) {
+    assert(offset + region.volume() <= staging.size());
+    auto src = staging.span();
+    auto dst = f.buffer().span();
+    const DeviceField layout = f;
+    stream.launch({1, 1, 1}, {1, 1, 1}, 0,
+                  [=, hold = staging](gpu::Dim3, gpu::Dim3, std::span<double>) {
+                      (void)hold;
+                      std::size_t idx = offset;
+                      for (int k = region.lo.k; k < region.hi.k; ++k)
+                          for (int j = region.lo.j; j < region.hi.j; ++j)
+                              for (int i = region.lo.i; i < region.hi.i; ++i)
+                                  dst[layout.offset(i, j, k)] = src[idx++];
+                  });
+}
+
+}  // namespace advect::impl

@@ -1,0 +1,81 @@
+#pragma once
+/// \file device_field.hpp
+/// Device-resident halo-padded fields and the CUDA-style kernels shared by
+/// the GPU implementations (§IV-E..I): the shared-memory-tiled stencil
+/// kernel (after Micikevicius [6], extended to the full 27-point stencil by
+/// keeping three rotating xy tile planes), periodic-halo kernels, and
+/// pack/unpack kernels that stage strided face regions into contiguous
+/// buffers so PCIe traffic moves in large chunks (§IV-F).
+
+#include "core/coefficients.hpp"
+#include "core/field.hpp"
+#include "gpu/device.hpp"
+
+namespace advect::impl {
+
+/// A device buffer with Field3's padded layout (extents n, halo width 1,
+/// x fastest).
+class DeviceField {
+  public:
+    DeviceField() = default;
+    DeviceField(gpu::Device& device, core::Extents3 n)
+        : n_(n),
+          buf_(device.alloc(static_cast<std::size_t>(n.nx + 2) *
+                            static_cast<std::size_t>(n.ny + 2) *
+                            static_cast<std::size_t>(n.nz + 2))) {}
+
+    [[nodiscard]] core::Extents3 extents() const { return n_; }
+    [[nodiscard]] gpu::DeviceBuffer& buffer() { return buf_; }
+    [[nodiscard]] const gpu::DeviceBuffer& buffer() const { return buf_; }
+
+    /// Linear offset of (i, j, k), identical to Field3::offset.
+    [[nodiscard]] std::size_t offset(int i, int j, int k) const {
+        return static_cast<std::size_t>(i + 1) +
+               static_cast<std::size_t>(n_.nx + 2) *
+                   (static_cast<std::size_t>(j + 1) +
+                    static_cast<std::size_t>(n_.ny + 2) *
+                        static_cast<std::size_t>(k + 1));
+    }
+
+    void swap(DeviceField& other) noexcept {
+        std::swap(n_, other.n_);
+        std::swap(buf_, other.buf_);
+    }
+
+  private:
+    core::Extents3 n_{};
+    gpu::DeviceBuffer buf_;
+};
+
+/// Upload the stencil coefficients to the device's constant memory
+/// ("the a_ijk values are in GPU constant memory", §IV-E).
+void upload_coefficients(gpu::Device& device, const core::StencilCoeffs& a);
+
+/// Launch the tiled stencil kernel over `region` of the padded field:
+/// out(p) = Equation 2 applied to in. Thread blocks are (bx+2, by+2): the
+/// two-point fringe are halo threads that only load the shared tile. Three
+/// shared tile planes (z-1, z, z+1) rotate as threads iterate z. The halos
+/// of `in` covering region+1 must be valid. Arithmetic order matches the
+/// CPU kernels bitwise.
+void launch_stencil(gpu::Stream& stream, gpu::Device& device,
+                    const DeviceField& in, DeviceField& out,
+                    const core::Range3& region, int bx, int by);
+
+/// Launch a periodic halo fill for one dimension of a device field whose
+/// extents equal the global domain (GPU-resident case): halo planes copy
+/// from the opposite boundary, with staged transverse ranges so corners
+/// propagate across the three dimension passes.
+void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim);
+
+/// Pack `region` of the field into `staging` at `offset` (x fastest),
+/// exactly core::pack's order so host- and device-side staging interoperate.
+void launch_pack(gpu::Stream& stream, const DeviceField& f,
+                 const core::Range3& region, gpu::DeviceBuffer& staging,
+                 std::size_t offset);
+
+/// Inverse of launch_pack.
+void launch_unpack(gpu::Stream& stream, DeviceField& f,
+                   const core::Range3& region, const gpu::DeviceBuffer& staging,
+                   std::size_t offset);
+
+}  // namespace advect::impl

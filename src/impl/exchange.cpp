@@ -1,0 +1,115 @@
+#include "impl/exchange.hpp"
+
+#include "omp/parallel_for.hpp"
+
+namespace advect::impl {
+
+namespace {
+
+namespace omp = advect::omp;
+
+/// Message tag for (dim, travel direction): low-travelling messages carry a
+/// rank's low plane toward its low neighbour.
+int tag_of(int dim, int travel_low) { return dim * 2 + (travel_low ? 0 : 1); }
+
+}  // namespace
+
+void pack_parallel(const core::Field3& f, const core::Range3& region,
+                   std::span<double> out, omp::ThreadTeam* team) {
+    if (team == nullptr || team->size() == 1) {
+        core::pack(f, region, out);
+        return;
+    }
+    const auto e = region.extents();
+    const std::int64_t rows = static_cast<std::int64_t>(e.ny) * e.nz;
+    omp::parallel_for(*team, 0, rows, omp::Schedule::Static,
+                      [&f, &region, out, &e](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t r = lo; r < hi; ++r) {
+                              const int j = region.lo.j + static_cast<int>(r % e.ny);
+                              const int k = region.lo.k + static_cast<int>(r / e.ny);
+                              std::size_t idx =
+                                  static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(e.nx);
+                              for (int i = region.lo.i; i < region.hi.i; ++i)
+                                  out[idx++] = f(i, j, k);
+                          }
+                      });
+}
+
+void unpack_parallel(core::Field3& f, const core::Range3& region,
+                     std::span<const double> in, omp::ThreadTeam* team) {
+    if (team == nullptr || team->size() == 1) {
+        core::unpack(f, region, in);
+        return;
+    }
+    const auto e = region.extents();
+    const std::int64_t rows = static_cast<std::int64_t>(e.ny) * e.nz;
+    omp::parallel_for(*team, 0, rows, omp::Schedule::Static,
+                      [&f, &region, in, &e](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t r = lo; r < hi; ++r) {
+                              const int j = region.lo.j + static_cast<int>(r % e.ny);
+                              const int k = region.lo.k + static_cast<int>(r / e.ny);
+                              std::size_t idx =
+                                  static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(e.nx);
+                              for (int i = region.lo.i; i < region.hi.i; ++i)
+                                  f(i, j, k) = in[idx++];
+                          }
+                      });
+}
+
+HaloExchange::HaloExchange(const core::Decomp3& decomp, int rank)
+    : plan_(core::HaloPlan::make(decomp.local_extents(rank))) {
+    for (int d = 0; d < 3; ++d) {
+        const auto du = static_cast<std::size_t>(d);
+        nbr_[du][0] = decomp.neighbor(rank, d, -1);
+        nbr_[du][1] = decomp.neighbor(rank, d, +1);
+        sbuf_[du][0].resize(plan_.dims[du].send_low.volume());
+        sbuf_[du][1].resize(plan_.dims[du].send_high.volume());
+        rbuf_[du][0].resize(plan_.dims[du].recv_low.volume());
+        rbuf_[du][1].resize(plan_.dims[du].recv_high.volume());
+    }
+}
+
+void HaloExchange::post_recvs(msg::Communicator& comm) {
+    for (int d = 0; d < 3; ++d) {
+        const auto du = static_cast<std::size_t>(d);
+        // Low halo is filled by the low neighbour's high-travelling message;
+        // high halo by the high neighbour's low-travelling message.
+        rreq_[du][0] = comm.irecv(nbr_[du][0], tag_of(d, /*travel_low=*/0),
+                                  rbuf_[du][0]);
+        rreq_[du][1] = comm.irecv(nbr_[du][1], tag_of(d, /*travel_low=*/1),
+                                  rbuf_[du][1]);
+    }
+}
+
+void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
+                             int dim, omp::ThreadTeam* team) {
+    const auto du = static_cast<std::size_t>(dim);
+    const auto& e = plan_.dims[du];
+    pack_parallel(f, e.send_low, sbuf_[du][0], team);
+    pack_parallel(f, e.send_high, sbuf_[du][1], team);
+    comm.isend(nbr_[du][0], tag_of(dim, /*travel_low=*/1), sbuf_[du][0]);
+    comm.isend(nbr_[du][1], tag_of(dim, /*travel_low=*/0), sbuf_[du][1]);
+}
+
+void HaloExchange::finish_dim(core::Field3& f, int dim,
+                              omp::ThreadTeam* team) {
+    const auto du = static_cast<std::size_t>(dim);
+    const auto& e = plan_.dims[du];
+    rreq_[du][0].wait();
+    rreq_[du][1].wait();
+    unpack_parallel(f, e.recv_low, rbuf_[du][0], team);
+    unpack_parallel(f, e.recv_high, rbuf_[du][1], team);
+}
+
+void HaloExchange::exchange_all(msg::Communicator& comm, core::Field3& f,
+                                omp::ThreadTeam* team) {
+    post_recvs(comm);
+    for (int d = 0; d < 3; ++d) {
+        start_dim(comm, f, d, team);
+        finish_dim(f, d, team);
+    }
+}
+
+}  // namespace advect::impl

@@ -1,0 +1,55 @@
+#pragma once
+/// \file registry.hpp
+/// The nine implementations of paper §IV, A through I, behind a uniform
+/// entry point each, plus a registry for tests/benches/examples to iterate.
+
+#include <span>
+#include <string>
+
+#include "impl/config.hpp"
+
+namespace advect::impl {
+
+/// §IV-A: single task, OpenMP threads only.
+SolveResult solve_single_task(const SolverConfig& cfg);
+/// §IV-B: bulk-synchronous MPI + OpenMP.
+SolveResult solve_mpi_bulk(const SolverConfig& cfg);
+/// §IV-C: MPI overlap via nonblocking communication interleaved with
+/// interior thirds.
+SolveResult solve_mpi_nonblocking(const SolverConfig& cfg);
+/// §IV-D: MPI overlap via the OpenMP master thread communicating while
+/// workers compute under guided scheduling.
+SolveResult solve_mpi_thread_overlap(const SolverConfig& cfg);
+/// §IV-E: single GPU, problem resident in device memory.
+SolveResult solve_gpu_resident(const SolverConfig& cfg);
+/// §IV-F: multi-task GPU computation with bulk-synchronous MPI via the CPUs.
+SolveResult solve_gpu_mpi_bulk(const SolverConfig& cfg);
+/// §IV-G: multi-task GPU with CUDA-stream overlap of interior computation
+/// against MPI + PCIe traffic.
+SolveResult solve_gpu_mpi_streams(const SolverConfig& cfg);
+/// §IV-H: CPU box + GPU block (Fig. 1) with bulk-synchronous MPI.
+SolveResult solve_cpu_gpu_bulk(const SolverConfig& cfg);
+/// §IV-I: CPU box + GPU block with full overlap (nonblocking MPI, separate
+/// CUDA streams, per-dimension interleaving).
+SolveResult solve_cpu_gpu_overlap(const SolverConfig& cfg);
+
+/// Registry entry describing one implementation.
+struct Implementation {
+    std::string id;             ///< short name, e.g. "mpi_nonblocking"
+    std::string paper_section;  ///< e.g. "IV-C"
+    std::string description;
+    bool uses_mpi = false;
+    bool uses_gpu = false;
+    SolveResult (*solve)(const SolverConfig&) = nullptr;
+    /// Source file implementing it (relative to the repo root), used by the
+    /// Fig. 2 lines-of-code bench.
+    std::string source_file;
+};
+
+/// All nine implementations in paper order A..I.
+[[nodiscard]] std::span<const Implementation> registry();
+
+/// Lookup by id; throws std::out_of_range for unknown ids.
+[[nodiscard]] const Implementation& find_implementation(const std::string& id);
+
+}  // namespace advect::impl

@@ -1,0 +1,41 @@
+#include "model/cpu_cost.hpp"
+
+#include <algorithm>
+
+namespace advect::model {
+
+double cpu_stencil_time(const MachineSpec& m, std::size_t points, int threads,
+                        double efficiency) {
+    if (points == 0) return 0.0;
+    const double pts = static_cast<double>(points);
+    double rate = threads * m.core_gf * 1e9 * efficiency;
+    if (threads > 1) rate *= m.omp_loop_eff;
+    if (threads > m.cores_per_socket) rate *= m.cross_socket_eff;
+    const double flop_s = pts * 53.0 / rate;
+    const double mem_s =
+        pts * kStencilBytesPerPoint / (m.task_bw_gbs(threads) * 1e9);
+    return std::max(flop_s, mem_s);
+}
+
+double cpu_copy_time(const MachineSpec& m, std::size_t points, int threads) {
+    if (points == 0) return 0.0;
+    return static_cast<double>(points) * m.copy_bytes_per_point /
+           (m.task_bw_gbs(threads) * 1e9);
+}
+
+double cpu_move_time(const MachineSpec& m, std::size_t bytes, int threads) {
+    if (bytes == 0) return 0.0;
+    return 2.0 * static_cast<double>(bytes) / (m.task_bw_gbs(threads) * 1e9);
+}
+
+double comm_time(const MachineSpec& m, std::size_t bytes, int messages,
+                 int tasks_per_node, bool intra_node) {
+    if (messages == 0) return 0.0;
+    const double bw =
+        (intra_node ? m.intra_node_bw_gbs : m.net_bw_gbs) * 1e9 /
+        std::max(1, tasks_per_node);
+    return messages * (m.net_alpha_us * 1e-6) +
+           messages * static_cast<double>(bytes) / bw;
+}
+
+}  // namespace advect::model

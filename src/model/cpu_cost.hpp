@@ -1,0 +1,41 @@
+#pragma once
+/// \file cpu_cost.hpp
+/// CPU-side cost functions: the roofline of the stencil pass (flop rate vs
+/// socket-shared memory bandwidth), the pure-memory copy pass (the paper's
+/// Step 3), buffer pack/unpack, and MPI message costs with NIC sharing.
+
+#include <cstddef>
+
+#include "model/machine.hpp"
+
+namespace advect::model {
+
+/// Bytes of memory traffic per point for the stencil pass (read the current
+/// state roughly once thanks to cache reuse, write the new state).
+inline constexpr double kStencilBytesPerPoint = 16.0;
+
+/// Seconds for one stencil pass over `points` with `threads` threads.
+/// `efficiency` < 1 models the slower separate boundary pass of the overlap
+/// implementations (strided slabs/pencils instead of one fused sweep).
+[[nodiscard]] double cpu_stencil_time(const MachineSpec& m, std::size_t points,
+                                      int threads, double efficiency = 1.0);
+
+/// Seconds for the Step 3 copy over `points` (memory bound; uses the
+/// machine's copy_bytes_per_point, 0 = buffer-swap variant).
+[[nodiscard]] double cpu_copy_time(const MachineSpec& m, std::size_t points,
+                                   int threads);
+
+/// Seconds to move `bytes` through memory once (read+write), e.g. packing a
+/// message buffer or staging a PCIe buffer, with `threads` threads.
+[[nodiscard]] double cpu_move_time(const MachineSpec& m, std::size_t bytes,
+                                   int threads);
+
+/// Seconds for `messages` point-to-point messages of `bytes` each sent by
+/// one task. The node NIC's bandwidth is shared by `tasks_per_node` tasks
+/// communicating simultaneously; `intra_node` selects the shared-memory
+/// transport instead of the interconnect.
+[[nodiscard]] double comm_time(const MachineSpec& m, std::size_t bytes,
+                               int messages, int tasks_per_node,
+                               bool intra_node);
+
+}  // namespace advect::model

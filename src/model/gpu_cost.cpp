@@ -1,0 +1,140 @@
+#include "model/gpu_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/coefficients.hpp"
+
+namespace advect::model {
+
+namespace {
+
+/// Useful bytes / bytes moved for one misaligned tile row of (bx+2) doubles.
+/// cc 1.3 coalesces in 64-byte segments (with a misalignment penalty
+/// segment); cc 2.0 moves 128-byte L1 lines.
+double coalesce_eff(const GpuModel& g, int bx) {
+    const double row_bytes = (bx + 2) * 8.0;
+    const bool fermi = g.props.max_threads_per_block > 512;  // cc >= 2.0
+    const double seg = fermi ? 128.0 : 64.0;
+    const double segments = std::ceil(row_bytes / seg) + 1.0;  // misaligned
+    return row_bytes / (segments * seg);
+}
+
+}  // namespace
+
+bool block_fits(const GpuModel& g, int bx, int by) {
+    if (bx < 1 || by < 1) return false;
+    const long long threads =
+        static_cast<long long>(bx + 2) * static_cast<long long>(by + 2);
+    if (threads > g.props.max_threads_per_block) return false;
+    const double shmem = 3.0 * static_cast<double>(threads) * 8.0;
+    return shmem <= g.props.shared_mem_per_block;
+}
+
+KernelEstimate kernel_estimate(const GpuModel& g, core::Extents3 region,
+                               int bx, int by) {
+    KernelEstimate e;
+    if (!block_fits(g, bx, by) || region.volume() == 0) {
+        e.seconds = std::numeric_limits<double>::infinity();
+        return e;
+    }
+    e.valid = true;
+
+    const long long threads = static_cast<long long>(bx + 2) * (by + 2);
+    const double shmem = 3.0 * static_cast<double>(threads) * 8.0;
+    const long long tiles_x = (region.nx + bx - 1) / bx;
+    const long long tiles_y = (region.ny + by - 1) / by;
+    e.blocks = tiles_x * tiles_y;
+
+    e.blocks_per_sm = static_cast<int>(std::min<long long>(
+        {g.props.max_blocks_per_sm,
+         static_cast<long long>(g.shared_per_sm / shmem),
+         g.props.max_threads_per_sm / threads}));
+    e.blocks_per_sm = std::max(e.blocks_per_sm, 1);
+
+    e.thread_eff = static_cast<double>(bx) * by / static_cast<double>(threads);
+    e.coalesce_eff = coalesce_eff(g, bx);
+    const double warps =
+        e.blocks_per_sm *
+        std::ceil(static_cast<double>(threads) / g.props.warp_size);
+    e.lat_eff = std::min(1.0, warps / g.warps_needed);
+    e.sync_eff = 1.0 - g.sync_penalty / e.blocks_per_sm;
+    const double concurrent =
+        static_cast<double>(e.blocks_per_sm) * g.props.multiprocessors;
+    const double waves = std::ceil(static_cast<double>(e.blocks) / concurrent);
+    e.wave_eff = static_cast<double>(e.blocks) / (waves * concurrent);
+
+    // Per block per z-iteration: one new shared tile plane loaded, bx*by
+    // points computed and stored. Warp-granular issue charges full bx*by
+    // lanes on edge blocks too.
+    const double block_z_steps = static_cast<double>(e.blocks) * region.nz;
+    const double flops = block_z_steps * bx * by * core::kFlopsPerPoint;
+    const double bytes =
+        block_z_steps * 8.0 *
+        (static_cast<double>(threads) / e.coalesce_eff + bx * by);
+
+    double issue_rate =
+        g.stencil_gf * 1e9 * e.thread_eff * e.lat_eff * e.sync_eff;
+    if (bx < g.props.warp_size) issue_rate *= g.narrow_row_eff;
+    e.flop_seconds = flops / issue_rate;
+    e.mem_seconds = bytes / (g.mem_bw_gbs * 1e9 * e.lat_eff);
+    e.seconds = std::max(e.flop_seconds, e.mem_seconds) / e.wave_eff +
+                g.launch_us * 1e-6;
+    return e;
+}
+
+double kernel_time(const GpuModel& g, core::Extents3 region, int bx, int by) {
+    return kernel_estimate(g, region, bx, by).seconds;
+}
+
+double face_kernel_time(const GpuModel& g, std::size_t points) {
+    if (points == 0) return 0.0;
+    const double flops = static_cast<double>(points) * core::kFlopsPerPoint;
+    const double bytes = static_cast<double>(points) * 4.0 * 8.0;
+    return g.launch_us * 1e-6 +
+           std::max(flops / (g.stencil_gf * g.face_eff * 1e9),
+                    bytes / (0.5 * g.mem_bw_gbs * 1e9));
+}
+
+double pcie_time(const GpuModel& g, std::size_t bytes) {
+    if (bytes == 0) return 0.0;
+    return g.pcie_lat_us * 1e-6 +
+           static_cast<double>(bytes) / (g.pcie_bw_gbs * 1e9);
+}
+
+double pcie_time_coupled(const GpuModel& g, std::size_t bytes) {
+    if (bytes == 0) return 0.0;
+    return g.pcie_lat_us * 1e-6 +
+           static_cast<double>(bytes) /
+               (g.pcie_bw_gbs * g.pcie_coupled_eff * 1e9);
+}
+
+double stage_kernel_time(const GpuModel& g, std::size_t bytes) {
+    if (bytes == 0) return 0.0;
+    // Strided gather/scatter: ~30% of the kernel-pattern bandwidth.
+    return g.launch_us * 1e-6 +
+           2.0 * static_cast<double>(bytes) / (0.3 * g.mem_bw_gbs * 1e9);
+}
+
+double host_stage_time(const GpuModel& g, std::size_t bytes) {
+    if (bytes == 0) return 0.0;
+    return 2.0 * static_cast<double>(bytes) / (g.host_stage_bw_gbs * 1e9);
+}
+
+double resident_gflops(const GpuModel& g, int n, int bx, int by) {
+    const core::Extents3 domain{n, n, n};
+    const double t_kernel = kernel_time(g, domain, bx, by);
+    if (!std::isfinite(t_kernel)) return 0.0;
+    // Three periodic-halo passes: device-side copies of the six halo faces.
+    const double halo_bytes =
+        6.0 * static_cast<double>(n) * n * 8.0 * 2.0;  // read + write
+    const double t_halo =
+        3.0 * g.launch_us * 1e-6 + halo_bytes / (0.3 * g.mem_bw_gbs * 1e9);
+    const double step = t_kernel + t_halo;
+    const double flops =
+        static_cast<double>(n) * n * n * core::kFlopsPerPoint;
+    return flops / step / 1e9;
+}
+
+}  // namespace advect::model

@@ -1,0 +1,71 @@
+#pragma once
+/// \file gpu_cost.hpp
+/// GPU kernel and PCIe cost functions. The tiled-kernel model derives
+/// performance from block geometry: halo-thread overhead, memory
+/// coalescing vs the x block dimension, shared-memory/thread occupancy,
+/// latency hiding, per-SM sync stalls, and wave quantization over the
+/// multiprocessors — the effects behind the paper's Figs. 7 and 8.
+
+#include <cstddef>
+
+#include "core/grid.hpp"
+#include "model/machine.hpp"
+
+namespace advect::model {
+
+/// Diagnostics of one kernel-time evaluation.
+struct KernelEstimate {
+    bool valid = false;       ///< launch fits the device limits
+    long long blocks = 0;     ///< grid size
+    int blocks_per_sm = 0;    ///< occupancy-limited concurrent blocks
+    double thread_eff = 0;    ///< computing threads / total threads
+    double coalesce_eff = 0;  ///< useful bytes / bytes moved per tile row
+    double lat_eff = 0;       ///< latency hiding from active warps
+    double sync_eff = 0;      ///< tile-load sync stalls (1 block/SM hurts)
+    double wave_eff = 0;      ///< last-wave utilization
+    double flop_seconds = 0;
+    double mem_seconds = 0;
+    double seconds = 0;       ///< total including launch overhead
+};
+
+/// Whether a (bx+2, by+2)-thread tile block fits the device: thread limit
+/// and 3-plane shared tile within shared memory.
+[[nodiscard]] bool block_fits(const GpuModel& g, int bx, int by);
+
+/// Model the tiled stencil kernel over a region of the given extents.
+/// Returns valid=false (seconds=inf) when the block does not fit.
+[[nodiscard]] KernelEstimate kernel_estimate(const GpuModel& g,
+                                             core::Extents3 region, int bx,
+                                             int by);
+
+/// Kernel time in seconds (infinity when the block is invalid).
+[[nodiscard]] double kernel_time(const GpuModel& g, core::Extents3 region,
+                                 int bx, int by);
+
+/// A specialized boundary-face kernel over `points` face points: the §IV-F
+/// per-face-pair kernels (and the §IV-H/I block-shell kernels) are small,
+/// strided, and latency-limited; they run at face_eff of the issue rate
+/// against ~4 accesses per point on the memory side.
+[[nodiscard]] double face_kernel_time(const GpuModel& g, std::size_t points);
+
+/// One host<->device staging transfer of `bytes` (latency + calibrated
+/// effective bandwidth).
+[[nodiscard]] double pcie_time(const GpuModel& g, std::size_t bytes);
+
+/// A transfer on the *coupled* staging path of §IV-F/G (interleaved with
+/// MPI and synchronizations inside the exchange; see GpuModel).
+[[nodiscard]] double pcie_time_coupled(const GpuModel& g, std::size_t bytes);
+
+/// Device-side pack/unpack kernel moving `bytes` between strided field
+/// regions and a contiguous staging buffer (runs at a fraction of the
+/// kernel-pattern bandwidth, plus a launch).
+[[nodiscard]] double stage_kernel_time(const GpuModel& g, std::size_t bytes);
+
+/// Host-side pack/unpack of a staging buffer.
+[[nodiscard]] double host_stage_time(const GpuModel& g, std::size_t bytes);
+
+/// Modelled GF for the GPU-resident implementation at 420^3 (Figs. 7-8):
+/// three periodic-halo passes plus the full-domain kernel per step.
+[[nodiscard]] double resident_gflops(const GpuModel& g, int n, int bx, int by);
+
+}  // namespace advect::model

@@ -1,0 +1,94 @@
+#include "msg/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace advect::msg {
+
+World::World(int nranks)
+    : nranks_(nranks),
+      mailboxes_(static_cast<std::size_t>(nranks)),
+      barrier_(nranks),
+      reduce_slots_(static_cast<std::size_t>(nranks), 0.0) {
+    if (nranks < 1) throw std::invalid_argument("World: nranks must be >= 1");
+}
+
+Request Communicator::isend(int dest, int tag, std::span<const double> data) {
+    assert(dest >= 0 && dest < size());
+    world_->mailbox(dest).deliver(rank_, tag, data);
+    return Request{};  // buffered send: complete on return
+}
+
+Request Communicator::irecv(int src, int tag, std::span<double> out) {
+    assert(src == kAnySource || (src >= 0 && src < size()));
+    return world_->mailbox(rank_).post_receive(src, tag, out);
+}
+
+void Communicator::send(int dest, int tag, std::span<const double> data) {
+    isend(dest, tag, data).wait();
+}
+
+void Communicator::recv(int src, int tag, std::span<double> out) {
+    irecv(src, tag, out).wait();
+}
+
+void Communicator::barrier() { world_->barrier_.arrive_and_wait(); }
+
+double Communicator::allreduce_sum(double value) {
+    world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
+    barrier();
+    double sum = 0.0;
+    for (double v : world_->reduce_slots_) sum += v;
+    barrier();  // nobody overwrites slots until everyone has read
+    return sum;
+}
+
+double Communicator::allreduce_max(double value) {
+    world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
+    barrier();
+    double mx = world_->reduce_slots_[0];
+    for (double v : world_->reduce_slots_) mx = std::max(mx, v);
+    barrier();
+    return mx;
+}
+
+double Communicator::broadcast(double value, int root) {
+    if (rank_ == root) world_->bcast_slot_ = value;
+    barrier();
+    const double out = world_->bcast_slot_;
+    barrier();
+    return out;
+}
+
+void run_ranks(int nranks,
+               const std::function<void(Communicator&)>& rank_main) {
+    World world(nranks);
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(static_cast<std::size_t>(nranks));
+        for (int r = 0; r < nranks; ++r) {
+            threads.emplace_back([&world, &rank_main, &first_error, &error_mu,
+                                  r] {
+                Communicator comm(world, r);
+                try {
+                    rank_main(comm);
+                } catch (...) {
+                    // A rank that throws while peers block in a collective is
+                    // a program error (as in MPI); well-formed tests throw on
+                    // all ranks or none.
+                    std::lock_guard lock(error_mu);
+                    if (!first_error) first_error = std::current_exception();
+                }
+            });
+        }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace advect::msg

@@ -1,0 +1,81 @@
+#pragma once
+/// \file comm.hpp
+/// The communicator and rank runtime. Ranks are threads within this process
+/// (the "cluster in a process" substitution documented in DESIGN.md §2);
+/// the API mirrors the MPI subset the paper's implementations use:
+/// nonblocking point-to-point with tags, waitall, barrier, and the small
+/// collectives needed for verification (allreduce, broadcast).
+
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "msg/mailbox.hpp"
+#include "msg/request.hpp"
+
+namespace advect::msg {
+
+class Communicator;
+
+/// Shared state of one "job": mailboxes, barrier, collective scratch.
+class World {
+  public:
+    explicit World(int nranks);
+
+    [[nodiscard]] int size() const { return nranks_; }
+    [[nodiscard]] Mailbox& mailbox(int rank) {
+        return mailboxes_[static_cast<std::size_t>(rank)];
+    }
+
+  private:
+    friend class Communicator;
+    int nranks_;
+    std::vector<Mailbox> mailboxes_;
+    std::barrier<> barrier_;
+    std::vector<double> reduce_slots_;
+    double bcast_slot_ = 0.0;
+};
+
+/// A rank's handle on the world. Cheap to copy within the rank's thread.
+class Communicator {
+  public:
+    Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int size() const { return world_->size(); }
+
+    /// Nonblocking send: the payload is captured before returning (buffered
+    /// semantics), so the returned request is already complete; it is
+    /// provided so call sites read like their MPI counterparts.
+    Request isend(int dest, int tag, std::span<const double> data);
+    /// Nonblocking receive into `out`; completes when a matching message has
+    /// been copied in. `out` must stay valid and untouched until wait().
+    [[nodiscard]] Request irecv(int src, int tag, std::span<double> out);
+
+    /// Blocking convenience wrappers.
+    void send(int dest, int tag, std::span<const double> data);
+    void recv(int src, int tag, std::span<double> out);
+
+    /// Synchronise all ranks.
+    void barrier();
+
+    /// Sum / max of one value per rank, returned on every rank.
+    [[nodiscard]] double allreduce_sum(double value);
+    [[nodiscard]] double allreduce_max(double value);
+    /// Broadcast `value` from `root` to all ranks.
+    [[nodiscard]] double broadcast(double value, int root);
+
+  private:
+    World* world_;
+    int rank_;
+};
+
+/// Launch `nranks` rank threads running `rank_main` and join them. The first
+/// exception thrown by any rank is rethrown here after all ranks finish or
+/// unwind. This is the `mpirun` of the substrate.
+void run_ranks(int nranks,
+               const std::function<void(Communicator&)>& rank_main);
+
+}  // namespace advect::msg

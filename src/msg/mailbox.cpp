@@ -1,0 +1,73 @@
+#include "msg/mailbox.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace advect::msg {
+
+void Mailbox::deliver(int src, int tag, std::span<const double> data) {
+    std::shared_ptr<detail::RequestState> to_complete;
+    std::size_t delivered = 0;
+    {
+        std::lock_guard lock(mu_);
+        // Earliest matching posted receive wins (non-overtaking: posted_ is
+        // scanned in post order).
+        auto it = std::find_if(posted_.begin(), posted_.end(),
+                               [&](const Posted& p) {
+                                   return matches(p.src, p.tag, src, tag);
+                               });
+        if (it != posted_.end()) {
+            if (it->out.size() < data.size())
+                throw std::length_error(
+                    "msg: receive buffer smaller than message");
+            std::copy(data.begin(), data.end(), it->out.begin());
+            to_complete = std::move(it->state);
+            delivered = data.size();
+            posted_.erase(it);
+        } else {
+            arrived_.push_back(
+                Arrived{src, tag, std::vector<double>(data.begin(), data.end())});
+        }
+    }
+    if (to_complete) to_complete->complete(delivered);
+}
+
+Request Mailbox::post_receive(int src, int tag, std::span<double> out) {
+    auto state = std::make_shared<detail::RequestState>();
+    std::vector<double> payload;  // move matched payload out of the lock
+    bool matched = false;
+    {
+        std::lock_guard lock(mu_);
+        auto it = std::find_if(arrived_.begin(), arrived_.end(),
+                               [&](const Arrived& m) {
+                                   return matches(src, tag, m.src, m.tag);
+                               });
+        if (it != arrived_.end()) {
+            payload = std::move(it->payload);
+            arrived_.erase(it);
+            matched = true;
+        } else {
+            posted_.push_back(Posted{src, tag, out, state});
+        }
+    }
+    if (matched) {
+        if (out.size() < payload.size())
+            throw std::length_error("msg: receive buffer smaller than message");
+        std::copy(payload.begin(), payload.end(), out.begin());
+        state->complete(payload.size());
+    }
+    return Request(state);
+}
+
+std::size_t Mailbox::pending_messages() const {
+    std::lock_guard lock(mu_);
+    return arrived_.size();
+}
+
+std::size_t Mailbox::pending_receives() const {
+    std::lock_guard lock(mu_);
+    return posted_.size();
+}
+
+}  // namespace advect::msg

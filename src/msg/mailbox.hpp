@@ -1,0 +1,66 @@
+#pragma once
+/// \file mailbox.hpp
+/// Per-rank message matching. Each rank owns one mailbox holding unmatched
+/// arrived messages and unmatched posted receives. Matching follows MPI
+/// rules: a receive matches the earliest arrived message with the same tag
+/// from the requested source (wildcards supported), and messages between a
+/// given (source, destination) pair with the same tag are non-overtaking.
+
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "msg/request.hpp"
+
+namespace advect::msg {
+
+/// Wildcard source/tag values (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A rank's incoming-message endpoint.
+class Mailbox {
+  public:
+    /// Deliver `data` from `src` with `tag`. If a matching receive is
+    /// already posted the payload is copied into its buffer and the
+    /// receive's request completes; otherwise the payload is queued.
+    /// Returns once the payload has been captured (buffered-send semantics:
+    /// the sender's buffer is immediately reusable).
+    void deliver(int src, int tag, std::span<const double> data);
+
+    /// Post a receive into `out` for a message from `src` (or kAnySource)
+    /// with `tag` (or kAnyTag). If a queued message already matches it is
+    /// consumed immediately. The returned request completes when data has
+    /// been copied into `out`.
+    [[nodiscard]] Request post_receive(int src, int tag, std::span<double> out);
+
+    /// Number of queued (unmatched) messages; for tests and diagnostics.
+    [[nodiscard]] std::size_t pending_messages() const;
+    /// Number of posted (unmatched) receives; for tests and diagnostics.
+    [[nodiscard]] std::size_t pending_receives() const;
+
+  private:
+    struct Arrived {
+        int src;
+        int tag;
+        std::vector<double> payload;
+    };
+    struct Posted {
+        int src;
+        int tag;
+        std::span<double> out;
+        std::shared_ptr<detail::RequestState> state;
+    };
+
+    static bool matches(int want_src, int want_tag, int src, int tag) {
+        return (want_src == kAnySource || want_src == src) &&
+               (want_tag == kAnyTag || want_tag == tag);
+    }
+
+    mutable std::mutex mu_;
+    std::deque<Arrived> arrived_;
+    std::deque<Posted> posted_;
+};
+
+}  // namespace advect::msg

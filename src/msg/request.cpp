@@ -1,0 +1,27 @@
+#include "msg/request.hpp"
+
+namespace advect::msg {
+
+void Request::wait() {
+    if (!state_) return;
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool Request::test() const {
+    if (!state_) return true;
+    std::lock_guard lock(state_->mu);
+    return state_->done;
+}
+
+std::size_t Request::count() const {
+    if (!state_) return 0;
+    std::lock_guard lock(state_->mu);
+    return state_->count;
+}
+
+void Request::wait_all(std::span<Request> reqs) {
+    for (auto& r : reqs) r.wait();
+}
+
+}  // namespace advect::msg

@@ -1,0 +1,60 @@
+#pragma once
+/// \file request.hpp
+/// Completion handles with MPI nonblocking semantics: an operation returns a
+/// Request immediately; the data involved may not be touched until wait()
+/// (or a successful test()) — exactly the contract the paper's nonblocking
+/// overlap implementation (§IV-C) is written against.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+
+namespace advect::msg {
+
+namespace detail {
+
+/// Shared completion state between the initiating rank and whichever rank's
+/// call completes the operation.
+struct RequestState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::size_t count = 0;  ///< doubles delivered (receives)
+
+    void complete(std::size_t delivered) {
+        {
+            std::lock_guard lock(mu);
+            done = true;
+            count = delivered;
+        }
+        cv.notify_all();
+    }
+};
+
+}  // namespace detail
+
+/// Handle for a nonblocking send or receive. Default-constructed requests
+/// are "null" and behave as already complete (like MPI_REQUEST_NULL).
+class Request {
+  public:
+    Request() = default;
+    explicit Request(std::shared_ptr<detail::RequestState> state)
+        : state_(std::move(state)) {}
+
+    /// Block until the operation completes.
+    void wait();
+    /// Nonblocking completion poll.
+    [[nodiscard]] bool test() const;
+    /// Number of doubles delivered; valid after completion of a receive.
+    [[nodiscard]] std::size_t count() const;
+
+    /// Wait on every request in the span (MPI_Waitall).
+    static void wait_all(std::span<Request> reqs);
+
+  private:
+    std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace advect::msg

@@ -1,0 +1,30 @@
+#include "omp/parallel_for.hpp"
+
+namespace advect::omp {
+
+void drain(LoopScheduler& sched, int thread_id,
+           const std::function<void(std::int64_t, std::int64_t)>& body) {
+    while (auto chunk = sched.next(thread_id)) body(chunk->begin, chunk->end);
+}
+
+void parallel_for(ThreadTeam& team, std::int64_t begin, std::int64_t end,
+                  Schedule schedule,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t min_chunk) {
+    LoopScheduler sched(begin, end, schedule, team.size(), min_chunk);
+    team.parallel([&sched, &body](int id) { drain(sched, id, body); });
+}
+
+void parallel_for_collapse2(
+    ThreadTeam& team, std::int64_t n1, std::int64_t n2, Schedule schedule,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t min_chunk) {
+    parallel_for(
+        team, 0, n1 * n2, schedule,
+        [n2, &body](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t f = lo; f < hi; ++f) body(f / n2, f % n2);
+        },
+        min_chunk);
+}
+
+}  // namespace advect::omp

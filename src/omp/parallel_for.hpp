@@ -1,0 +1,36 @@
+#pragma once
+/// \file parallel_for.hpp
+/// Parallel loops over a thread team, including the collapse(2) form the
+/// paper uses for the outer two loops of the stencil and copy steps
+/// (§IV-A: "the outer-most two loops in Steps 2 and 3, using the OpenMP
+/// option collapse(2)").
+
+#include <functional>
+
+#include "omp/schedule.hpp"
+#include "omp/thread_team.hpp"
+
+namespace advect::omp {
+
+/// Run `body(begin, end)` on sub-ranges of [begin, end) across the team.
+/// Blocks until the loop completes (implicit end-of-region barrier).
+void parallel_for(ThreadTeam& team, std::int64_t begin, std::int64_t end,
+                  Schedule schedule,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t min_chunk = 0);
+
+/// collapse(2): the iteration space [0, n1) x [0, n2) is flattened into a
+/// single space of n1 * n2 iterations before being scheduled, exactly as
+/// OpenMP's collapse clause does. `body(i1, i2)` is invoked per iteration.
+void parallel_for_collapse2(
+    ThreadTeam& team, std::int64_t n1, std::int64_t n2, Schedule schedule,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t min_chunk = 0);
+
+/// Drain a shared scheduler from one thread: repeatedly claim chunks and run
+/// `body` until exhausted. Used inside explicit `team.parallel` regions
+/// (e.g. §IV-D, where the master joins the loop after doing communication).
+void drain(LoopScheduler& sched, int thread_id,
+           const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace advect::omp

@@ -1,0 +1,73 @@
+#include "omp/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace advect::omp {
+
+LoopScheduler::LoopScheduler(std::int64_t begin, std::int64_t end,
+                             Schedule schedule, int nthreads,
+                             std::int64_t min_chunk)
+    : begin_(begin),
+      end_(std::max(begin, end)),
+      schedule_(schedule),
+      nthreads_(nthreads),
+      min_chunk_(min_chunk > 0 ? min_chunk : 1),
+      cursor_(begin) {
+    if (nthreads < 1)
+        throw std::invalid_argument("LoopScheduler: nthreads must be >= 1");
+    if (schedule_ == Schedule::Static) {
+        static_taken_ = std::make_unique<std::atomic<bool>[]>(
+            static_cast<std::size_t>(nthreads));
+        for (int t = 0; t < nthreads; ++t)
+            static_taken_[static_cast<std::size_t>(t)] = false;
+    }
+}
+
+std::optional<Chunk> LoopScheduler::next(int thread_id) {
+    assert(thread_id >= 0 && thread_id < nthreads_);
+    const std::int64_t n = size();
+    if (n == 0) return std::nullopt;
+
+    switch (schedule_) {
+        case Schedule::Static: {
+            auto& taken = static_taken_[static_cast<std::size_t>(thread_id)];
+            if (taken.exchange(true)) return std::nullopt;
+            // Same partition rule as split_sizes: first (n % p) threads get
+            // one extra iteration.
+            const std::int64_t base = n / nthreads_;
+            const std::int64_t extra = n % nthreads_;
+            const std::int64_t lo =
+                begin_ + base * thread_id + std::min<std::int64_t>(thread_id, extra);
+            const std::int64_t len = base + (thread_id < extra ? 1 : 0);
+            if (len == 0) return std::nullopt;
+            return Chunk{lo, lo + len};
+        }
+        case Schedule::Dynamic: {
+            const std::int64_t lo =
+                cursor_.fetch_add(min_chunk_, std::memory_order_relaxed);
+            if (lo >= end_) return std::nullopt;
+            return Chunk{lo, std::min(end_, lo + min_chunk_)};
+        }
+        case Schedule::Guided: {
+            // Claim max(remaining / nthreads, min_chunk) with a CAS loop so
+            // the chunk size reflects the remaining work at claim time.
+            std::int64_t lo = cursor_.load(std::memory_order_relaxed);
+            for (;;) {
+                if (lo >= end_) return std::nullopt;
+                const std::int64_t remaining = end_ - lo;
+                const std::int64_t len = std::max(
+                    min_chunk_, remaining / nthreads_);
+                const std::int64_t hi = std::min(end_, lo + len);
+                if (cursor_.compare_exchange_weak(lo, hi,
+                                                  std::memory_order_relaxed))
+                    return Chunk{lo, hi};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace advect::omp

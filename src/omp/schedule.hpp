@@ -1,0 +1,59 @@
+#pragma once
+/// \file schedule.hpp
+/// OpenMP-style loop scheduling: static, dynamic, and guided. Guided
+/// scheduling follows the OpenMP rule the paper relies on in §IV-D:
+/// "chunks proportional in size to the remaining work divided by the number
+/// of threads", so late-joining threads (a master that first performed MPI
+/// communication) still get useful work.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace advect::omp {
+
+/// Scheduling policy for parallel loops.
+enum class Schedule {
+    Static,   ///< one contiguous chunk per thread, precomputed
+    Dynamic,  ///< fixed-size chunks claimed first-come-first-served
+    Guided,   ///< shrinking chunks: max(remaining / nthreads, min_chunk)
+};
+
+/// Half-open sub-range of loop iterations handed to one thread.
+struct Chunk {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+};
+
+/// Thread-safe chunk dispenser for iterations [begin, end).
+///
+/// Static chunks are a function of thread id only; Dynamic and Guided chunks
+/// are claimed from a shared atomic cursor, so any thread may request work at
+/// any time (the §IV-D master joins late).
+class LoopScheduler {
+  public:
+    /// `min_chunk` bounds Dynamic chunk size and the Guided floor; 0 selects
+    /// the default (1).
+    LoopScheduler(std::int64_t begin, std::int64_t end, Schedule schedule,
+                  int nthreads, std::int64_t min_chunk = 0);
+
+    /// Next chunk for `thread_id`, or nullopt when the loop is exhausted
+    /// (for Static: when the thread's single chunk was already taken).
+    [[nodiscard]] std::optional<Chunk> next(int thread_id);
+
+    /// Total iterations in the loop.
+    [[nodiscard]] std::int64_t size() const { return end_ - begin_; }
+
+  private:
+    std::int64_t begin_;
+    std::int64_t end_;
+    Schedule schedule_;
+    int nthreads_;
+    std::int64_t min_chunk_;
+    std::atomic<std::int64_t> cursor_;
+    // Static bookkeeping: one flag per thread (sized at construction).
+    std::unique_ptr<std::atomic<bool>[]> static_taken_;
+};
+
+}  // namespace advect::omp

@@ -1,0 +1,56 @@
+#include "omp/thread_team.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace advect::omp {
+
+ThreadTeam::ThreadTeam(int nthreads)
+    : nthreads_(nthreads), region_barrier_(nthreads) {
+    if (nthreads < 1)
+        throw std::invalid_argument("ThreadTeam: nthreads must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+    for (int id = 1; id < nthreads; ++id)
+        workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadTeam::~ThreadTeam() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+}
+
+void ThreadTeam::parallel(const std::function<void(int)>& body) {
+    {
+        std::lock_guard lock(mu_);
+        job_ = &body;
+        ++generation_;
+    }
+    cv_.notify_all();
+    body(0);
+    region_barrier_.arrive_and_wait();  // end-of-region barrier
+    job_ = nullptr;
+}
+
+void ThreadTeam::barrier() { region_barrier_.arrive_and_wait(); }
+
+void ThreadTeam::worker_loop(int id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(int)>* job = nullptr;
+        {
+            std::unique_lock lock(mu_);
+            cv_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            job = job_;
+        }
+        assert(job != nullptr);
+        (*job)(id);
+        region_barrier_.arrive_and_wait();  // end-of-region barrier
+    }
+}
+
+}  // namespace advect::omp

@@ -1,0 +1,56 @@
+#pragma once
+/// \file thread_team.hpp
+/// A persistent team of worker threads modelled on an OpenMP thread team.
+/// The paper's implementations are "Fortran with OpenMP directives"; this
+/// substrate provides the same structure: parallel regions executed by a
+/// fixed team (the calling thread acts as the master, id 0), an in-region
+/// barrier, and master-only sections (used by §IV-D, where the master
+/// performs MPI communication while workers compute under guided
+/// scheduling).
+
+#include <barrier>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace advect::omp {
+
+/// Fixed-size thread team. Workers persist across parallel regions (like an
+/// OpenMP runtime's pool), avoiding thread creation in timed loops.
+class ThreadTeam {
+  public:
+    /// Create a team of `nthreads` >= 1. The constructor's calling thread is
+    /// the master (participant 0); nthreads - 1 workers are spawned.
+    explicit ThreadTeam(int nthreads);
+    ThreadTeam(const ThreadTeam&) = delete;
+    ThreadTeam& operator=(const ThreadTeam&) = delete;
+    ~ThreadTeam();
+
+    /// Team size including the master.
+    [[nodiscard]] int size() const { return nthreads_; }
+
+    /// Execute `body(thread_id)` on every team member (master runs id 0) and
+    /// return when all members have finished (implicit end-of-region
+    /// barrier, as in OpenMP). Must be called from the master thread; not
+    /// reentrant.
+    void parallel(const std::function<void(int)>& body);
+
+    /// Barrier among all team members; callable only inside `parallel`.
+    void barrier();
+
+  private:
+    void worker_loop(int id);
+
+    int nthreads_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    const std::function<void(int)>* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::barrier<> region_barrier_;  // in-region barrier() and region exit
+    std::vector<std::jthread> workers_;
+};
+
+}  // namespace advect::omp

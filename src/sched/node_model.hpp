@@ -1,0 +1,53 @@
+#pragma once
+/// \file node_model.hpp
+/// Per-implementation performance models: each implementation's per-step
+/// structure (what may occupy the CPU cores, NIC, PCIe link and GPU
+/// concurrently, and in what dependency order) is emitted as a task graph
+/// over one node's resources and evaluated by the discrete-event engine
+/// with durations from the calibrated cost models. The steady-state step
+/// time of the symmetric node gives the machine-wide GF the paper plots.
+
+#include <string>
+
+#include "model/cpu_cost.hpp"
+#include "model/gpu_cost.hpp"
+
+namespace advect::sched {
+
+/// The nine implementations, keyed as in paper §IV.
+enum class Code { A, B, C, D, E, F, G, H, I };
+
+/// Map a registry id ("mpi_bulk", "cpu_gpu_overlap", ...) to its code.
+[[nodiscard]] Code code_from_id(const std::string& id);
+/// Human-readable label ("IV-B bulk-synchronous MPI", ...).
+[[nodiscard]] std::string code_label(Code c);
+
+/// One modelled configuration.
+struct RunConfig {
+    model::MachineSpec machine;
+    int nodes = 1;
+    int threads_per_task = 1;
+    int n = 420;  ///< global grid points per dimension
+    int block_x = 32;
+    int block_y = 8;
+    int box_thickness = 1;
+
+    [[nodiscard]] int tasks_per_node() const {
+        return std::max(1, machine.cores_per_node() / threads_per_task);
+    }
+    [[nodiscard]] int ntasks() const { return nodes * tasks_per_node(); }
+    [[nodiscard]] int total_cores() const {
+        return nodes * machine.cores_per_node();
+    }
+};
+
+/// Steady-state modelled seconds per time step for one implementation.
+/// Returns infinity for configurations the implementation cannot run
+/// (e.g. GPU codes on a GPU-less machine, multi-node single-task, GPU
+/// block that does not fit, more tasks than grid points).
+[[nodiscard]] double step_time(Code impl, const RunConfig& cfg);
+
+/// Machine-wide GF at the paper's analytic flop count (53/point/step).
+[[nodiscard]] double model_gflops(Code impl, const RunConfig& cfg);
+
+}  // namespace advect::sched

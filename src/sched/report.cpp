@@ -1,0 +1,42 @@
+#include "sched/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace advect::sched {
+
+double StepReport::utilization_of(const std::string& name) const {
+    for (const auto& r : resources)
+        if (r.name == name) return r.utilization;
+    return 0.0;
+}
+
+std::string format_report(Code impl, const RunConfig& cfg,
+                          const StepReport& report) {
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof buf, "%s on %s, %d node(s), %d threads/task\n",
+                  code_label(impl).c_str(), cfg.machine.name.c_str(),
+                  cfg.nodes, cfg.threads_per_task);
+    out += buf;
+    if (!std::isfinite(report.step_seconds)) {
+        out += "  (configuration infeasible)\n";
+        return out;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  step %.3f ms   %.1f GF   overlap factor %.2f\n",
+                  report.step_seconds * 1e3, report.gflops,
+                  report.overlap_factor);
+    out += buf;
+    for (const auto& r : report.resources) {
+        const int bars = static_cast<int>(r.utilization * 40.0 + 0.5);
+        std::snprintf(buf, sizeof buf, "  %-5s %5.1f%% |%.*s%*s|\n",
+                      r.name.c_str(), r.utilization * 100.0, bars,
+                      "########################################", 40 - bars,
+                      "");
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace advect::sched

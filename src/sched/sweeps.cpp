@@ -1,0 +1,101 @@
+#include "sched/sweeps.hpp"
+
+namespace advect::sched {
+
+std::vector<int> default_node_counts(const model::MachineSpec& machine) {
+    std::vector<int> nodes;
+    for (int c = machine.nodes >= 1000 ? 8 : 1; c <= machine.nodes; c *= 2)
+        nodes.push_back(c);
+    // Do not force the full machine in when it is an awkward task count
+    // (Lens has 31 nodes; a prime decomposition degenerates to pencils).
+    if ((nodes.empty() || nodes.back() != machine.nodes) &&
+        machine.nodes >= 64)
+        nodes.push_back(machine.nodes);
+    // Cap the biggest machines near the paper's plotted ranges: JaguarPF is
+    // shown to ~12k cores, Hopper II to 49152 cores (2048 nodes).
+    std::vector<int> out;
+    for (int c : nodes) {
+        if (machine.nodes > 10000 && c > 1024) continue;  // JaguarPF range
+        if (machine.nodes > 4000 && machine.nodes <= 10000 && c > 2048)
+            continue;  // Hopper II range
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<int> box_choices() {
+    return {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+}
+
+namespace {
+
+bool uses_box(Code impl) { return impl == Code::H || impl == Code::I; }
+
+}  // namespace
+
+std::vector<SweepPoint> best_series(Code impl,
+                                    const model::MachineSpec& machine,
+                                    std::span<const int> node_counts, int n) {
+    std::vector<SweepPoint> out;
+    const auto threads_choices = machine.threads_per_task_choices();
+    for (int nodes : node_counts) {
+        SweepPoint best;
+        best.cores = nodes * machine.cores_per_node();
+        for (int threads : threads_choices) {
+            RunConfig cfg;
+            cfg.machine = machine;
+            cfg.nodes = nodes;
+            cfg.threads_per_task = threads;
+            cfg.n = n;
+            if (uses_box(impl)) {
+                for (int box : box_choices()) {
+                    cfg.box_thickness = box;
+                    const double gf = model_gflops(impl, cfg);
+                    if (gf > best.gf) best = {best.cores, gf, threads, box};
+                }
+            } else {
+                const double gf = model_gflops(impl, cfg);
+                if (gf > best.gf) best = {best.cores, gf, threads, 0};
+            }
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+std::vector<SweepPoint> threads_series(Code impl,
+                                       const model::MachineSpec& machine,
+                                       std::span<const int> node_counts,
+                                       int threads, int n) {
+    std::vector<SweepPoint> out;
+    for (int nodes : node_counts) {
+        RunConfig cfg;
+        cfg.machine = machine;
+        cfg.nodes = nodes;
+        cfg.threads_per_task = threads;
+        cfg.n = n;
+        out.push_back(SweepPoint{nodes * machine.cores_per_node(),
+                                 model_gflops(impl, cfg), threads, 0});
+    }
+    return out;
+}
+
+std::vector<SweepPoint> combo_series(Code impl,
+                                     const model::MachineSpec& machine,
+                                     std::span<const int> node_counts,
+                                     int threads, int box, int n) {
+    std::vector<SweepPoint> out;
+    for (int nodes : node_counts) {
+        RunConfig cfg;
+        cfg.machine = machine;
+        cfg.nodes = nodes;
+        cfg.threads_per_task = threads;
+        cfg.n = n;
+        cfg.box_thickness = box;
+        out.push_back(SweepPoint{nodes * machine.cores_per_node(),
+                                 model_gflops(impl, cfg), threads, box});
+    }
+    return out;
+}
+
+}  // namespace advect::sched

@@ -1,0 +1,47 @@
+#pragma once
+/// \file sweeps.hpp
+/// Parameter sweeps over the performance model, mirroring the paper's
+/// experiment matrices: best-over-tuning strong-scaling series (Figs. 3, 4,
+/// 9, 10), fixed-threads series (Figs. 5, 6), and (threads, box-thickness)
+/// combination series (Figs. 11, 12).
+
+#include <span>
+#include <vector>
+
+#include "sched/node_model.hpp"
+
+namespace advect::sched {
+
+/// One point of a series, with the tuning that achieved it.
+struct SweepPoint {
+    int cores = 0;
+    double gf = 0.0;
+    int threads = 0;  ///< threads per task
+    int box = 0;      ///< box thickness (H/I only; 0 otherwise)
+};
+
+/// Node counts the benches sweep for a machine (cores = nodes x
+/// cores-per-node), covering the paper's plotted ranges.
+[[nodiscard]] std::vector<int> default_node_counts(
+    const model::MachineSpec& machine);
+
+/// Box thicknesses swept for the CPU-GPU implementations.
+[[nodiscard]] std::vector<int> box_choices();
+
+/// Best GF over all measured threads-per-task (and, for H/I, box
+/// thicknesses) at each node count.
+[[nodiscard]] std::vector<SweepPoint> best_series(
+    Code impl, const model::MachineSpec& machine,
+    std::span<const int> node_counts, int n = 420);
+
+/// GF at fixed threads-per-task for each node count (bulk-sync Figs. 5-6).
+[[nodiscard]] std::vector<SweepPoint> threads_series(
+    Code impl, const model::MachineSpec& machine,
+    std::span<const int> node_counts, int threads, int n = 420);
+
+/// GF for one (threads, box) combination across node counts (Figs. 11-12).
+[[nodiscard]] std::vector<SweepPoint> combo_series(
+    Code impl, const model::MachineSpec& machine,
+    std::span<const int> node_counts, int threads, int box, int n = 420);
+
+}  // namespace advect::sched

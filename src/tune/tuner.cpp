@@ -1,0 +1,160 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+
+#include "model/gpu_cost.hpp"
+#include "sched/sweeps.hpp"
+
+namespace advect::tune {
+
+namespace {
+
+bool uses_gpu(sched::Code impl) {
+    return impl == sched::Code::E || impl == sched::Code::F ||
+           impl == sched::Code::G || impl == sched::Code::H ||
+           impl == sched::Code::I;
+}
+
+bool uses_box(sched::Code impl) {
+    return impl == sched::Code::H || impl == sched::Code::I;
+}
+
+}  // namespace
+
+TuningSpace TuningSpace::full(const model::MachineSpec& machine,
+                              sched::Code impl) {
+    TuningSpace s;
+    s.threads = machine.threads_per_task_choices();
+    if (uses_box(impl)) s.boxes = sched::box_choices();
+    if (uses_gpu(impl) && machine.gpu) {
+        for (int bx : {16, 32, 64})
+            for (int by : {2, 4, 6, 8, 11, 13, 16})
+                if (model::block_fits(*machine.gpu, bx, by))
+                    s.blocks.emplace_back(bx, by);
+    }
+    return s;
+}
+
+std::size_t TuningSpace::size() const {
+    return std::max<std::size_t>(1, threads.size()) *
+           std::max<std::size_t>(1, boxes.size()) *
+           std::max<std::size_t>(1, blocks.size());
+}
+
+TuningPoint evaluate(sched::Code impl, const sched::RunConfig& base,
+                     TuningPoint p) {
+    sched::RunConfig cfg = base;
+    cfg.threads_per_task = p.threads_per_task;
+    cfg.box_thickness = p.box_thickness;
+    cfg.block_x = p.block_x;
+    cfg.block_y = p.block_y;
+    p.gf = sched::model_gflops(impl, cfg);
+    return p;
+}
+
+TuningPoint grid_search(sched::Code impl, const sched::RunConfig& base,
+                        const TuningSpace& space, SearchStats* stats) {
+    const auto threads =
+        space.threads.empty() ? std::vector<int>{base.threads_per_task}
+                              : space.threads;
+    const auto boxes = space.boxes.empty()
+                           ? std::vector<int>{base.box_thickness}
+                           : space.boxes;
+    const auto blocks =
+        space.blocks.empty()
+            ? std::vector<std::pair<int, int>>{{base.block_x, base.block_y}}
+            : space.blocks;
+    TuningPoint best;
+    for (int t : threads)
+        for (int box : boxes)
+            for (auto [bx, by] : blocks) {
+                const auto p =
+                    evaluate(impl, base, TuningPoint{t, box, bx, by});
+                if (stats != nullptr) ++stats->evaluations;
+                if (p.gf > best.gf) best = p;
+            }
+    return best;
+}
+
+TuningPoint coordinate_descent(sched::Code impl, const sched::RunConfig& base,
+                               const TuningSpace& space,
+                               std::optional<TuningPoint> seed,
+                               SearchStats* stats) {
+    const auto threads =
+        space.threads.empty() ? std::vector<int>{base.threads_per_task}
+                              : space.threads;
+    const auto boxes = space.boxes.empty()
+                           ? std::vector<int>{base.box_thickness}
+                           : space.boxes;
+    const auto blocks =
+        space.blocks.empty()
+            ? std::vector<std::pair<int, int>>{{base.block_x, base.block_y}}
+            : space.blocks;
+
+    // The parameters couple (§VI: the best box "can itself depend on the
+    // number of threads per task"), so a single seed can strand the search
+    // in a local optimum. Without an explicit seed, descend from three
+    // corners of the thread ladder and keep the best fixed point.
+    if (!seed.has_value()) {
+        TuningPoint best;
+        for (std::size_t pick :
+             {std::size_t{0}, threads.size() / 2, threads.size() - 1}) {
+            const TuningPoint corner{threads[pick], boxes.front(),
+                                     blocks.front().first,
+                                     blocks.front().second};
+            const auto p =
+                coordinate_descent(impl, base, space, corner, stats);
+            if (p.gf > best.gf) best = p;
+        }
+        return best;
+    }
+
+    TuningPoint cur = *seed;
+    cur = evaluate(impl, base, cur);
+    if (stats != nullptr) ++stats->evaluations;
+
+    for (int pass = 0; pass < 8; ++pass) {
+        bool improved = false;
+        // Sweep order matters on this coupled landscape: at a thick box the
+        // step is CPU-bound and every block ties, so tune the block first
+        // (while the box is thin), then the box, then the team size.
+        for (auto [bx, by] : blocks) {
+            if (bx == cur.block_x && by == cur.block_y) continue;
+            auto p = cur;
+            p.block_x = bx;
+            p.block_y = by;
+            p = evaluate(impl, base, p);
+            if (stats != nullptr) ++stats->evaluations;
+            if (p.gf > cur.gf) {
+                cur = p;
+                improved = true;
+            }
+        }
+        for (int box : boxes) {
+            if (box == cur.box_thickness) continue;
+            auto p = cur;
+            p.box_thickness = box;
+            p = evaluate(impl, base, p);
+            if (stats != nullptr) ++stats->evaluations;
+            if (p.gf > cur.gf) {
+                cur = p;
+                improved = true;
+            }
+        }
+        for (int t : threads) {
+            if (t == cur.threads_per_task) continue;
+            auto p = cur;
+            p.threads_per_task = t;
+            p = evaluate(impl, base, p);
+            if (stats != nullptr) ++stats->evaluations;
+            if (p.gf > cur.gf) {
+                cur = p;
+                improved = true;
+            }
+        }
+        if (!improved) break;
+    }
+    return cur;
+}
+
+}  // namespace advect::tune

@@ -1,0 +1,77 @@
+#pragma once
+/// \file tuner.hpp
+/// Automatic tuning over the paper's parameter space (§VI: "We see a clear
+/// need to tune the number of threads per task. Our test has the
+/// additional tuning parameter of the thickness of the CPU box partition,
+/// which can itself depend on the number of threads per task. A potential
+/// dependence we did not test ... is the GPU thread-block size.").
+///
+/// Two searchers over the calibrated performance model:
+///  * grid_search — exhaustive, the ground truth;
+///  * coordinate_descent — greedy one-parameter-at-a-time refinement, the
+///    kind of cheap search an auto-tuner would run on real hardware where
+///    every evaluation costs a benchmark run.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sched/node_model.hpp"
+
+namespace advect::tune {
+
+/// One candidate configuration and its modelled performance.
+struct TuningPoint {
+    int threads_per_task = 1;
+    int box_thickness = 1;
+    int block_x = 32;
+    int block_y = 8;
+    double gf = 0.0;
+
+    friend bool operator==(const TuningPoint&, const TuningPoint&) = default;
+};
+
+/// The parameter ranges a search walks. Empty box/block lists pin the
+/// corresponding parameters at the base configuration's values.
+struct TuningSpace {
+    std::vector<int> threads;
+    std::vector<int> boxes;
+    std::vector<std::pair<int, int>> blocks;
+
+    /// The full space the paper sweeps for `impl` on `machine`: the
+    /// measured thread ladders, box thicknesses for the Fig. 1
+    /// implementations, and warp-aligned block candidates for GPU code.
+    [[nodiscard]] static TuningSpace full(const model::MachineSpec& machine,
+                                          sched::Code impl);
+
+    /// Number of points in the space.
+    [[nodiscard]] std::size_t size() const;
+};
+
+/// Search statistics (model evaluations used).
+struct SearchStats {
+    int evaluations = 0;
+};
+
+/// Evaluate one point (returns gf = 0 for infeasible configurations).
+[[nodiscard]] TuningPoint evaluate(sched::Code impl,
+                                   const sched::RunConfig& base,
+                                   TuningPoint p);
+
+/// Exhaustive search; returns the best point (gf = 0 if the whole space is
+/// infeasible).
+[[nodiscard]] TuningPoint grid_search(sched::Code impl,
+                                      const sched::RunConfig& base,
+                                      const TuningSpace& space,
+                                      SearchStats* stats = nullptr);
+
+/// Greedy coordinate descent from `seed` (or the space's first point):
+/// repeatedly sweep one parameter holding the others fixed, accept the
+/// best, and stop at a fixed point. Uses far fewer evaluations than the
+/// grid; may land in a local optimum.
+[[nodiscard]] TuningPoint coordinate_descent(
+    sched::Code impl, const sched::RunConfig& base, const TuningSpace& space,
+    std::optional<TuningPoint> seed = std::nullopt,
+    SearchStats* stats = nullptr);
+
+}  // namespace advect::tune

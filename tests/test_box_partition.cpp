@@ -1,0 +1,156 @@
+// Tests for the Fig. 1 CPU-box / GPU-block partition and its shell
+// geometry, plus the box-subtraction utility.
+
+#include <gtest/gtest.h>
+
+#include "core/box_partition.hpp"
+#include "core/field.hpp"
+
+namespace core = advect::core;
+
+namespace {
+
+void mark(core::Field3& cover, const core::Range3& r) {
+    for (int k = r.lo.k; k < r.hi.k; ++k)
+        for (int j = r.lo.j; j < r.hi.j; ++j)
+            for (int i = r.lo.i; i < r.hi.i; ++i) cover(i, j, k) += 1.0;
+}
+
+TEST(BoxSubtract, DisjointCoverOfDifference) {
+    const core::Range3 a{{0, 0, 0}, {8, 7, 6}};
+    const core::Range3 b{{2, 1, 3}, {5, 6, 9}};  // sticks out in z
+    const auto pieces = core::box_subtract(a, b);
+    core::Field3 cover({8, 7, 6}, 0.0);
+    for (const auto& p : pieces) mark(cover, p);
+    std::size_t count = 0;
+    for (int k = 0; k < 6; ++k)
+        for (int j = 0; j < 7; ++j)
+            for (int i = 0; i < 8; ++i) {
+                const bool in_b = b.contains({i, j, k});
+                ASSERT_EQ(cover(i, j, k), in_b ? 0.0 : 1.0);
+                if (!in_b) ++count;
+            }
+    std::size_t piece_total = 0;
+    for (const auto& p : pieces) piece_total += p.volume();
+    EXPECT_EQ(piece_total, count);
+}
+
+TEST(BoxSubtract, DisjointBoxesReturnWhole) {
+    const core::Range3 a{{0, 0, 0}, {4, 4, 4}};
+    const auto pieces = core::box_subtract(a, {{10, 10, 10}, {12, 12, 12}});
+    ASSERT_EQ(pieces.size(), 1u);
+    EXPECT_EQ(pieces[0], a);
+}
+
+TEST(BoxSubtract, FullOverlapReturnsEmpty) {
+    const core::Range3 a{{1, 1, 1}, {3, 3, 3}};
+    EXPECT_TRUE(core::box_subtract(a, {{0, 0, 0}, {5, 5, 5}}).empty());
+}
+
+TEST(Expand, GrowAndShrink) {
+    const core::Range3 r{{2, 3, 4}, {6, 7, 8}};
+    EXPECT_EQ(core::expand(r, 1), (core::Range3{{1, 2, 3}, {7, 8, 9}}));
+    EXPECT_EQ(core::expand(r, -1), (core::Range3{{3, 4, 5}, {5, 6, 7}}));
+    EXPECT_TRUE(core::expand(r, -2).empty());
+}
+
+class BoxThickness : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxThickness, WallsAndBlockPartitionTheDomain) {
+    const int t = GetParam();
+    const core::Extents3 n{14, 12, 11};
+    const core::BoxPartition box(n, t);
+    core::Field3 cover(n, 0.0);
+    mark(cover, box.gpu_block());
+    for (const auto& w : box.cpu_walls()) mark(cover, w.whole);
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i) ASSERT_EQ(cover(i, j, k), 1.0);
+    EXPECT_EQ(box.gpu_points() + box.cpu_points(), n.volume());
+}
+
+TEST_P(BoxThickness, WallInnerOuterPartitionEachWall) {
+    const int t = GetParam();
+    const core::Extents3 n{14, 12, 11};
+    const core::BoxPartition box(n, t);
+    for (const auto& w : box.cpu_walls()) {
+        core::Field3 cover(n, 0.0);
+        for (const auto& r : w.inner) mark(cover, r);
+        for (const auto& r : w.outer) mark(cover, r);
+        for (int k = w.whole.lo.k; k < w.whole.hi.k; ++k)
+            for (int j = w.whole.lo.j; j < w.whole.hi.j; ++j)
+                for (int i = w.whole.lo.i; i < w.whole.hi.i; ++i)
+                    ASSERT_EQ(cover(i, j, k), 1.0);
+        // Outer pieces touch the outer halo; inner pieces do not.
+        for (const auto& r : w.outer)
+            for (int k = r.lo.k; k < r.hi.k; ++k)
+                for (int j = r.lo.j; j < r.hi.j; ++j)
+                    for (int i = r.lo.i; i < r.hi.i; ++i)
+                        ASSERT_TRUE(i == 0 || i == n.nx - 1 || j == 0 ||
+                                    j == n.ny - 1 || k == 0 || k == n.nz - 1);
+        for (const auto& r : w.inner)
+            ASSERT_TRUE(core::Range3({{1, 1, 1},
+                                      {n.nx - 1, n.ny - 1, n.nz - 1}})
+                            .contains(r.lo));
+    }
+}
+
+TEST_P(BoxThickness, ShellsAreOnePointThickAndAdjacent) {
+    const int t = GetParam();
+    const core::Extents3 n{14, 12, 11};
+    const core::BoxPartition box(n, t);
+    const auto block = box.gpu_block();
+    // gpu_halo_shell: every point at Chebyshev distance exactly 1 outside
+    // the block.
+    std::size_t halo_pts = 0;
+    for (const auto& r : box.gpu_halo_shell()) {
+        halo_pts += r.volume();
+        for (int k = r.lo.k; k < r.hi.k; ++k)
+            for (int j = r.lo.j; j < r.hi.j; ++j)
+                for (int i = r.lo.i; i < r.hi.i; ++i) {
+                    ASSERT_FALSE(block.contains({i, j, k}));
+                    ASSERT_TRUE(core::expand(block, 1).contains({i, j, k}));
+                }
+    }
+    EXPECT_EQ(halo_pts,
+              core::expand(block, 1).volume() - block.volume());
+    // block_boundary_shell: the outermost layer of the block.
+    std::size_t bnd_pts = 0;
+    for (const auto& r : box.block_boundary_shell()) {
+        bnd_pts += r.volume();
+        for (int k = r.lo.k; k < r.hi.k; ++k)
+            for (int j = r.lo.j; j < r.hi.j; ++j)
+                for (int i = r.lo.i; i < r.hi.i; ++i) {
+                    ASSERT_TRUE(block.contains({i, j, k}));
+                    ASSERT_FALSE(core::expand(block, -1).contains({i, j, k}));
+                }
+    }
+    EXPECT_EQ(bnd_pts, block.volume() - core::expand(block, -1).volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thickness, BoxThickness, ::testing::Values(1, 2, 3, 5));
+
+TEST(BoxPartition, RejectsInfeasibleThickness) {
+    EXPECT_THROW(core::BoxPartition({10, 10, 10}, 5), std::invalid_argument);
+    EXPECT_THROW(core::BoxPartition({10, 10, 10}, 0), std::invalid_argument);
+    EXPECT_NO_THROW(core::BoxPartition({10, 10, 10}, 4));
+    // Thickness limited by the smallest extent.
+    EXPECT_THROW(core::BoxPartition({30, 30, 6}, 3), std::invalid_argument);
+}
+
+TEST(BoxPartition, VeneerBoxGeometry) {
+    // thickness 1: the CPU box is exactly the outermost layer (the paper's
+    // "veneer of points around the GPU's domain").
+    const core::Extents3 n{8, 8, 8};
+    const core::BoxPartition box(n, 1);
+    EXPECT_EQ(box.cpu_points(), n.volume() - 6u * 6u * 6u);
+    EXPECT_EQ(box.gpu_block(), (core::Range3{{1, 1, 1}, {7, 7, 7}}));
+    // At thickness 1 the walls and the gpu halo shell coincide.
+    std::size_t wall_pts = 0;
+    for (const auto& w : box.cpu_walls()) wall_pts += w.whole.volume();
+    std::size_t shell_pts = 0;
+    for (const auto& r : box.gpu_halo_shell()) shell_pts += r.volume();
+    EXPECT_EQ(wall_pts, shell_pts);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for the balanced 3-D task decomposition (paper §IV-B): coverage,
+// disjointness, +/-1 size balance, the "largest in x, smallest in z"
+// preference, cubic subdomains when possible, and neighbour topology.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/decomposition.hpp"
+
+namespace core = advect::core;
+
+namespace {
+
+TEST(SplitSizes, BalanceAndOrder) {
+    const auto s = core::split_sizes(10, 3);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 4);
+    EXPECT_EQ(s[1], 3);
+    EXPECT_EQ(s[2], 3);
+    EXPECT_THROW((void)core::split_sizes(3, 4), std::invalid_argument);
+    EXPECT_THROW((void)core::split_sizes(3, 0), std::invalid_argument);
+    const auto even = core::split_sizes(420, 6);
+    for (int v : even) EXPECT_EQ(v, 70);
+}
+
+class DecompSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompSweep, CoversDomainExactlyOnce) {
+    const int ntasks = GetParam();
+    const core::Extents3 g{20, 18, 24};
+    const auto d = core::make_decomposition(g, ntasks);
+    ASSERT_EQ(d.nranks(), ntasks);
+    std::vector<int> cover(g.volume(), 0);
+    for (int r = 0; r < d.nranks(); ++r) {
+        const auto owned = d.owned(r);
+        EXPECT_FALSE(owned.empty()) << "rank " << r << " has an empty domain";
+        for (int k = owned.lo.k; k < owned.hi.k; ++k)
+            for (int j = owned.lo.j; j < owned.hi.j; ++j)
+                for (int i = owned.lo.i; i < owned.hi.i; ++i)
+                    ++cover[static_cast<std::size_t>(
+                        i + g.nx * (j + g.ny * k))];
+    }
+    for (int c : cover) ASSERT_EQ(c, 1);
+}
+
+TEST_P(DecompSweep, SubdomainsBalancedWithinOnePoint) {
+    const int ntasks = GetParam();
+    const core::Extents3 g{20, 18, 24};
+    const auto d = core::make_decomposition(g, ntasks);
+    int min_x = 1 << 30, max_x = 0, min_y = 1 << 30, max_y = 0,
+        min_z = 1 << 30, max_z = 0;
+    for (int r = 0; r < d.nranks(); ++r) {
+        const auto e = d.local_extents(r);
+        min_x = std::min(min_x, e.nx);
+        max_x = std::max(max_x, e.nx);
+        min_y = std::min(min_y, e.ny);
+        max_y = std::max(max_y, e.ny);
+        min_z = std::min(min_z, e.nz);
+        max_z = std::max(max_z, e.nz);
+    }
+    EXPECT_LE(max_x - min_x, 1);
+    EXPECT_LE(max_y - min_y, 1);
+    EXPECT_LE(max_z - min_z, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, DecompSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 13, 16,
+                                           24, 27, 30, 64, 100));
+
+TEST(Decomposition, CubicWhenTaskCountIsCubeDividing420) {
+    // "If the number of tasks is the cube of an integer, and if that
+    // integer is a divisor of 420, then every task has a cubic subdomain."
+    for (int m : {1, 2, 3, 5, 6, 7}) {
+        const int ntasks = m * m * m;
+        const auto d = core::make_decomposition({420, 420, 420}, ntasks);
+        EXPECT_EQ(d.px(), m);
+        EXPECT_EQ(d.py(), m);
+        EXPECT_EQ(d.pz(), m);
+        for (int r = 0; r < std::min(8, d.nranks()); ++r) {
+            const auto e = d.local_extents(r);
+            EXPECT_EQ(e.nx, 420 / m);
+            EXPECT_EQ(e.ny, 420 / m);
+            EXPECT_EQ(e.nz, 420 / m);
+        }
+    }
+}
+
+TEST(Decomposition, LargestInXSmallestInZ) {
+    // Non-cubic counts split least along x, most along z.
+    for (int ntasks : {2, 4, 6, 12, 24, 48, 96}) {
+        const auto d = core::make_decomposition({420, 420, 420}, ntasks);
+        EXPECT_LE(d.px(), d.py()) << ntasks << " tasks";
+        EXPECT_LE(d.py(), d.pz()) << ntasks << " tasks";
+        const auto e = d.local_extents(0);
+        EXPECT_GE(e.nx, e.ny) << ntasks << " tasks";
+        EXPECT_GE(e.ny, e.nz) << ntasks << " tasks";
+    }
+}
+
+TEST(Decomposition, RankCoordsRoundTrip) {
+    const auto d = core::make_decomposition({30, 30, 30}, 24);
+    for (int r = 0; r < d.nranks(); ++r)
+        EXPECT_EQ(d.rank_at(d.coords(r)), r);
+}
+
+TEST(Decomposition, NeighborsArePeriodic) {
+    const auto d = core::make_decomposition({30, 30, 30}, 8);  // 2x2x2
+    for (int r = 0; r < d.nranks(); ++r)
+        for (int dim = 0; dim < 3; ++dim) {
+            const int lo = d.neighbor(r, dim, -1);
+            const int hi = d.neighbor(r, dim, +1);
+            // In a 2-wide dimension, both neighbours are the same rank and
+            // going there and back returns home.
+            EXPECT_EQ(lo, hi);
+            EXPECT_EQ(d.neighbor(lo, dim, +1), r);
+        }
+}
+
+TEST(Decomposition, SelfNeighborWhenSingleCut) {
+    const auto d = core::make_decomposition({30, 30, 30}, 1);
+    for (int dim = 0; dim < 3; ++dim) {
+        EXPECT_EQ(d.neighbor(0, dim, -1), 0);
+        EXPECT_EQ(d.neighbor(0, dim, +1), 0);
+    }
+    // Prime counts produce 1x1xP: x and y are self-neighbours.
+    const auto p = core::make_decomposition({30, 30, 30}, 7);
+    EXPECT_EQ(p.px(), 1);
+    EXPECT_EQ(p.py(), 1);
+    EXPECT_EQ(p.pz(), 7);
+    EXPECT_EQ(p.neighbor(3, 0, -1), 3);
+    EXPECT_EQ(p.neighbor(3, 1, +1), 3);
+    EXPECT_EQ(p.neighbor(6, 2, +1), 0);  // wraps
+}
+
+TEST(Decomposition, LargePrimeNeedsALongDimension) {
+    // 97 is prime: a 97-way split needs some dimension with >= 97 points.
+    EXPECT_THROW((void)core::make_decomposition({20, 18, 24}, 97),
+                 std::invalid_argument);
+    const auto d = core::make_decomposition({420, 420, 420}, 97);
+    EXPECT_EQ(d.pz(), 97);  // split along z (smallest subdomain dimension)
+    EXPECT_EQ(d.px(), 1);
+}
+
+TEST(Decomposition, RejectsImpossibleCounts) {
+    EXPECT_THROW((void)core::make_decomposition({4, 4, 4}, 65),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::make_decomposition({4, 4, 4}, 0),
+                 std::invalid_argument);
+    // 64 tasks on a 4^3 grid is legal (1 point per task).
+    const auto d = core::make_decomposition({4, 4, 4}, 64);
+    EXPECT_EQ(d.local_extents(0).volume(), 1u);
+}
+
+TEST(Decomposition, OriginMatchesOwnedLow) {
+    const auto d = core::make_decomposition({21, 22, 23}, 12);
+    for (int r = 0; r < d.nranks(); ++r) {
+        EXPECT_EQ(d.origin(r), d.owned(r).lo);
+        EXPECT_EQ(d.local_extents(r).volume(), d.owned(r).volume());
+    }
+}
+
+}  // namespace

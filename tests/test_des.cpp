@@ -1,0 +1,169 @@
+// Tests for the discrete-event engine: dependency ordering, resource
+// capacity enforcement, overlap semantics (the property the whole timing
+// layer rests on), utilization accounting, and error handling.
+
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+
+namespace des = advect::des;
+
+namespace {
+
+TEST(Engine, SerialChainSumsDurations) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    des::TaskId prev = -1;
+    for (int i = 0; i < 5; ++i)
+        prev = eng.add_task("t", 2.0, {{cpu, 1}},
+                            prev < 0 ? std::vector<des::TaskId>{}
+                                     : std::vector<des::TaskId>{prev});
+    EXPECT_DOUBLE_EQ(eng.run(), 10.0);
+}
+
+TEST(Engine, IndependentTasksOverlapOnDifferentResources) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto nic = eng.add_resource("nic", 1);
+    eng.add_task("compute", 5.0, {{cpu, 1}}, {});
+    eng.add_task("comm", 4.0, {{nic, 1}}, {});
+    EXPECT_DOUBLE_EQ(eng.run(), 5.0);  // max, not sum: overlap
+}
+
+TEST(Engine, CapacityLimitsConcurrency) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 2);
+    for (int i = 0; i < 4; ++i) eng.add_task("t", 3.0, {{cpu, 1}}, {});
+    EXPECT_DOUBLE_EQ(eng.run(), 6.0);  // two waves of two
+}
+
+TEST(Engine, MultiUnitClaims) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 4);
+    eng.add_task("wide", 2.0, {{cpu, 3}}, {});
+    eng.add_task("narrow", 2.0, {{cpu, 1}}, {});
+    eng.add_task("wide2", 2.0, {{cpu, 3}}, {});
+    // wide+narrow fit together; wide2 must wait.
+    EXPECT_DOUBLE_EQ(eng.run(), 4.0);
+}
+
+TEST(Engine, DependenciesGateStart) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 4);
+    const auto a = eng.add_task("a", 1.0, {{cpu, 1}}, {});
+    const auto b = eng.add_task("b", 1.0, {{cpu, 1}}, {a});
+    const auto c = eng.add_task("c", 1.0, {{cpu, 1}}, {a, b});
+    EXPECT_DOUBLE_EQ(eng.run(), 3.0);
+    EXPECT_DOUBLE_EQ(eng.start_time(b), 1.0);
+    EXPECT_DOUBLE_EQ(eng.finish_time(c), 3.0);
+}
+
+TEST(Engine, DiamondGraph) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 2);
+    const auto src = eng.add_task("src", 1.0, {{cpu, 1}}, {});
+    const auto left = eng.add_task("left", 3.0, {{cpu, 1}}, {src});
+    const auto right = eng.add_task("right", 2.0, {{cpu, 1}}, {src});
+    const auto sink = eng.add_task("sink", 1.0, {{cpu, 1}}, {left, right});
+    EXPECT_DOUBLE_EQ(eng.run(), 5.0);  // 1 + max(3,2) + 1
+    EXPECT_DOUBLE_EQ(eng.start_time(sink), 4.0);
+    (void)right;
+}
+
+TEST(Engine, OverlapNeverWorseThanSerial) {
+    // Property: for random small graphs, the makespan is at most the sum of
+    // durations and at least the critical path / resource bound.
+    for (unsigned seed = 0; seed < 30; ++seed) {
+        std::srand(seed);
+        des::Engine eng;
+        const auto r0 = eng.add_resource("r0", 1 + static_cast<int>(seed % 3));
+        const auto r1 = eng.add_resource("r1", 1);
+        double total = 0.0;
+        std::vector<des::TaskId> ids;
+        for (int i = 0; i < 12; ++i) {
+            const double dur = 1.0 + (std::rand() % 5);
+            total += dur;
+            std::vector<des::TaskId> deps;
+            if (!ids.empty() && std::rand() % 2)
+                deps.push_back(ids[static_cast<std::size_t>(
+                    std::rand() % static_cast<int>(ids.size()))]);
+            ids.push_back(eng.add_task(
+                "t", dur, {{std::rand() % 2 ? r0 : r1, 1}}, deps));
+        }
+        const double mk = eng.run();
+        EXPECT_LE(mk, total + 1e-9);
+        EXPECT_GT(mk, 0.0);
+        for (auto id : ids) {
+            EXPECT_GE(eng.start_time(id), 0.0);
+            EXPECT_LE(eng.finish_time(id), mk + 1e-9);
+        }
+    }
+}
+
+TEST(Engine, TraceIsConsistent) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    eng.add_task("a", 2.0, {{cpu, 1}}, {});
+    eng.add_task("b", 3.0, {{cpu, 1}}, {});
+    eng.run();
+    const auto& tr = eng.trace();
+    ASSERT_EQ(tr.size(), 2u);
+    // With capacity 1, intervals must not overlap.
+    EXPECT_LE(tr[0].end, tr[1].start + 1e-12);
+    EXPECT_DOUBLE_EQ(eng.utilization(cpu), 1.0);
+}
+
+TEST(Engine, UtilizationReflectsIdleness) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto nic = eng.add_resource("nic", 1);
+    const auto a = eng.add_task("compute", 4.0, {{cpu, 1}}, {});
+    eng.add_task("comm", 1.0, {{nic, 1}}, {a});  // nic idle 4 of 5 seconds
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.utilization(nic), 0.2);
+}
+
+TEST(Engine, ZeroDurationTasks) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto a = eng.add_task("anchor", 0.0, {{cpu, 1}}, {});
+    const auto b = eng.add_task("work", 1.5, {{cpu, 1}}, {a});
+    EXPECT_DOUBLE_EQ(eng.run(), 1.5);
+    EXPECT_DOUBLE_EQ(eng.finish_time(a), 0.0);
+    (void)b;
+}
+
+TEST(Engine, ErrorsOnBadInput) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 2);
+    EXPECT_THROW(eng.add_task("t", -1.0, {{cpu, 1}}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(eng.add_task("t", 1.0, {{cpu, 3}}, {}), std::logic_error);
+    EXPECT_THROW(eng.add_task("t", 1.0, {{des::ResourceId{9}, 1}}, {}),
+                 std::invalid_argument);
+    // Forward dependencies are rejected (ids must precede).
+    EXPECT_THROW(eng.add_task("t", 1.0, {{cpu, 1}}, {des::TaskId{99}}),
+                 std::invalid_argument);
+    EXPECT_THROW(eng.add_resource("r", 0), std::invalid_argument);
+}
+
+TEST(Engine, RunTwiceThrows) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    eng.add_task("t", 1.0, {{cpu, 1}}, {});
+    eng.run();
+    EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, TaskWithNoResources) {
+    // Pure synchronization points claim nothing.
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto a = eng.add_task("a", 2.0, {{cpu, 1}}, {});
+    const auto join = eng.add_task("join", 0.0, {}, {a});
+    const auto b = eng.add_task("b", 1.0, {{cpu, 1}}, {join});
+    EXPECT_DOUBLE_EQ(eng.run(), 3.0);
+    (void)b;
+}
+
+}  // namespace

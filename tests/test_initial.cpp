@@ -1,0 +1,126 @@
+// Tests for the Gaussian initial condition, the analytic solution with
+// periodic wrap, the error norms, and the problem wrapper (flop counting,
+// GF arithmetic, reference stepping).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/problem.hpp"
+
+namespace core = advect::core;
+
+namespace {
+
+TEST(GaussianWave, PeakAtCenterAndSymmetric) {
+    const core::GaussianWave w{};
+    EXPECT_DOUBLE_EQ(w(0.5, 0.5, 0.5), 1.0);
+    EXPECT_NEAR(w(0.3, 0.5, 0.5), w(0.7, 0.5, 0.5), 1e-12);
+    EXPECT_NEAR(w(0.5, 0.2, 0.5), w(0.5, 0.8, 0.5), 1e-12);
+    EXPECT_LT(w(0.1, 0.1, 0.1), 0.01);
+}
+
+TEST(GaussianWave, MinimumImagePeriodicity) {
+    const core::GaussianWave w{};
+    // Points just inside either side of the periodic seam see the same wave.
+    EXPECT_NEAR(w(0.999, 0.5, 0.5), w(0.001, 0.5, 0.5), 1e-12);
+    EXPECT_NEAR(w(0.0, 0.5, 0.5), w(1.0 - 1e-16, 0.5, 0.5), 1e-9);
+}
+
+TEST(Analytic, TranslatesWithoutDeformation) {
+    const core::GaussianWave w{};
+    const core::Velocity3 c{1.0, 0.5, 0.25};
+    // At time t, the value at x equals the initial value at x - c t.
+    EXPECT_NEAR(core::analytic_solution(w, c, 0.2, 0.7, 0.6, 0.55),
+                w(0.5, 0.5, 0.5), 1e-12);
+    // Periodic wrap: after t = 1 with c_x = 1 the x-profile returns.
+    EXPECT_NEAR(core::analytic_solution(w, {1, 0, 0}, 1.0, 0.3, 0.4, 0.5),
+                w(0.3, 0.4, 0.5), 1e-12);
+    // Negative times and coordinates wrap too.
+    EXPECT_NEAR(core::analytic_solution(w, {1, 1, 1}, -0.25, 0.0, 0.0, 0.0),
+                w(0.25, 0.25, 0.25), 1e-12);
+}
+
+TEST(FillInitial, SubBlockMatchesGlobal) {
+    const core::Domain dom{10};
+    const core::GaussianWave w{};
+    core::Field3 global({10, 10, 10});
+    core::fill_initial(global, dom, w);
+    core::Field3 block({4, 5, 3});
+    core::fill_initial(block, dom, w, {3, 2, 6});
+    for (int k = 0; k < 3; ++k)
+        for (int j = 0; j < 5; ++j)
+            for (int i = 0; i < 4; ++i)
+                ASSERT_EQ(block(i, j, k), global(3 + i, 2 + j, 6 + k));
+}
+
+TEST(Norms, KnownValues) {
+    core::Field3 f({2, 2, 2}, 0.0);
+    f(0, 0, 0) = 3.0;
+    f(1, 1, 1) = -4.0;
+    const auto n = core::norms(f);
+    EXPECT_DOUBLE_EQ(n.l1, 7.0 / 8.0);
+    EXPECT_DOUBLE_EQ(n.l2, std::sqrt(25.0 / 8.0));
+    EXPECT_DOUBLE_EQ(n.linf, 4.0);
+}
+
+TEST(Norms, DiffNormsOfEqualFieldsAreZero) {
+    core::Field3 a({3, 3, 3}, 1.5);
+    core::Field3 b({3, 3, 3}, 1.5);
+    b.fill_halo(9.0);  // halos excluded
+    const auto d = core::diff_norms(a, b);
+    EXPECT_EQ(d.l1, 0.0);
+    EXPECT_EQ(d.l2, 0.0);
+    EXPECT_EQ(d.linf, 0.0);
+}
+
+TEST(Problem, StandardSetup) {
+    const auto p = core::AdvectionProblem::standard(420);
+    EXPECT_EQ(p.domain.n, 420);
+    EXPECT_DOUBLE_EQ(p.nu, 1.0);  // c = (1,1,1) -> max stable nu = 1
+    EXPECT_DOUBLE_EQ(p.dt(), 1.0 / 420.0);
+    EXPECT_DOUBLE_EQ(p.time_at(420), 1.0);  // one full domain crossing
+}
+
+TEST(Problem, FlopAccountingMatchesPaper) {
+    // "53 floating-point operations ... 27 multiplications and 26 additions"
+    const std::size_t pts = 420ull * 420 * 420;
+    EXPECT_EQ(core::total_flops(pts, 1), pts * 53);
+    // 86 GF on the 420^3 problem means ~45.7 ms per step.
+    const double seconds = static_cast<double>(core::total_flops(pts, 1)) /
+                           86.0e9;
+    EXPECT_NEAR(seconds, 0.0457, 0.001);
+    EXPECT_NEAR(core::gflops(pts, 10, 10 * seconds), 86.0, 0.1);
+}
+
+TEST(Problem, ReferenceConservesMassAtAnyNu) {
+    // Coefficients sum to 1, so the discrete integral of u is conserved.
+    auto p = core::AdvectionProblem::standard(12);
+    p.nu = 0.73;
+    core::Field3 init(p.domain.extents());
+    core::fill_initial(init, p.domain, p.wave);
+    const auto state = core::run_reference(p, 7);
+    double sum0 = 0.0, sum1 = 0.0;
+    for (int k = 0; k < 12; ++k)
+        for (int j = 0; j < 12; ++j)
+            for (int i = 0; i < 12; ++i) {
+                sum0 += init(i, j, k);
+                sum1 += state(i, j, k);
+            }
+    EXPECT_NEAR(sum1, sum0, 1e-10 * std::fabs(sum0));
+}
+
+TEST(Problem, ErrorVsAnalyticSmallForSmoothWave) {
+    auto p = core::AdvectionProblem::standard(32);
+    const auto state = core::run_reference(p, 8);
+    const auto err = core::error_vs_analytic(p, state, 8);
+    // Unit Courant: exact advection, error is pure round-off.
+    EXPECT_LT(err.linf, 1e-12);
+    p.nu = 0.5;
+    const auto state2 = core::run_reference(p, 8);
+    const auto err2 = core::error_vs_analytic(p, state2, 8);
+    EXPECT_GT(err2.linf, 1e-12);  // now a genuine discretization error
+    EXPECT_LT(err2.linf, 0.15);   // but a modest one
+}
+
+}  // namespace

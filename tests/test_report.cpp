@@ -1,0 +1,91 @@
+// Tests for the schedule introspection layer: utilization bounds, the
+// overlap-factor ordering that is the paper's thesis in one number, and
+// formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/report.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+namespace {
+
+sched::RunConfig yona(int nodes, int threads) {
+    sched::RunConfig cfg;
+    cfg.machine = model::MachineSpec::yona();
+    cfg.nodes = nodes;
+    cfg.threads_per_task = threads;
+    return cfg;
+}
+
+TEST(StepReport, UtilizationsAreFractions) {
+    const auto r = sched::step_report(sched::Code::I, yona(1, 12));
+    ASSERT_TRUE(std::isfinite(r.step_seconds));
+    ASSERT_EQ(r.resources.size(), 4u);  // cpu, nic, pcie, gpu
+    for (const auto& u : r.resources) {
+        EXPECT_GE(u.utilization, 0.0) << u.name;
+        EXPECT_LE(u.utilization, 1.0 + 1e-9) << u.name;
+    }
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_GT(r.overlap_factor, 0.0);
+}
+
+TEST(StepReport, GflopsConsistentWithModel) {
+    const auto cfg = yona(2, 12);
+    const auto r = sched::step_report(sched::Code::G, cfg);
+    EXPECT_NEAR(r.gflops, sched::model_gflops(sched::Code::G, cfg),
+                1e-6 * r.gflops);
+}
+
+TEST(StepReport, FullOverlapOverlapsMoreThanBulk) {
+    // The thesis in one number: IV-I keeps more machinery busy per unit
+    // time than the bulk-synchronous implementations.
+    const auto bulk = sched::step_report(sched::Code::F, yona(1, 12));
+    const auto overlap = sched::step_report(sched::Code::I, yona(1, 12));
+    EXPECT_GT(overlap.overlap_factor, bulk.overlap_factor);
+    // And the GPU sits busier under IV-I than under IV-F.
+    EXPECT_GT(overlap.utilization_of("gpu"), bulk.utilization_of("gpu"));
+}
+
+TEST(StepReport, CpuOnlyImplementationsLeaveGpuIdle) {
+    const auto r = sched::step_report(sched::Code::B, yona(2, 12));
+    EXPECT_EQ(r.utilization_of("gpu"), 0.0);
+    EXPECT_EQ(r.utilization_of("pcie"), 0.0);
+    EXPECT_GT(r.utilization_of("cpu"), 0.5);
+    EXPECT_GT(r.utilization_of("nic"), 0.0);
+}
+
+TEST(StepReport, CpuMachinesReportNoGpuResources) {
+    sched::RunConfig cfg;
+    cfg.machine = model::MachineSpec::jaguarpf();
+    cfg.nodes = 4;
+    cfg.threads_per_task = 6;
+    const auto r = sched::step_report(sched::Code::B, cfg);
+    ASSERT_EQ(r.resources.size(), 2u);  // cpu, nic only
+    EXPECT_EQ(r.utilization_of("gpu"), 0.0);
+}
+
+TEST(StepReport, InfeasibleConfigReported) {
+    auto cfg = yona(2, 12);
+    cfg.box_thickness = 500;
+    const auto r = sched::step_report(sched::Code::I, cfg);
+    EXPECT_FALSE(std::isfinite(r.step_seconds));
+    const auto text = sched::format_report(sched::Code::I, cfg, r);
+    EXPECT_NE(text.find("infeasible"), std::string::npos);
+}
+
+TEST(StepReport, FormatContainsTheEssentials) {
+    const auto cfg = yona(1, 12);
+    const auto r = sched::step_report(sched::Code::I, cfg);
+    const auto text = sched::format_report(sched::Code::I, cfg, r);
+    EXPECT_NE(text.find("IV-I"), std::string::npos);
+    EXPECT_NE(text.find("Yona"), std::string::npos);
+    EXPECT_NE(text.find("GF"), std::string::npos);
+    EXPECT_NE(text.find("cpu"), std::string::npos);
+    EXPECT_NE(text.find("gpu"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the per-implementation performance models: validity rules,
+// scaling behaviour, the paper's §V-E single-node anchors as regression
+// tests, and the qualitative orderings every figure bench relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/sweeps.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+namespace {
+
+sched::RunConfig yona_config(int nodes = 1, int threads = 12) {
+    sched::RunConfig cfg;
+    cfg.machine = model::MachineSpec::yona();
+    cfg.nodes = nodes;
+    cfg.threads_per_task = threads;
+    return cfg;
+}
+
+TEST(Codes, RoundTripWithRegistryIds) {
+    EXPECT_EQ(sched::code_from_id("single_task"), sched::Code::A);
+    EXPECT_EQ(sched::code_from_id("mpi_bulk"), sched::Code::B);
+    EXPECT_EQ(sched::code_from_id("cpu_gpu_overlap"), sched::Code::I);
+    EXPECT_THROW((void)sched::code_from_id("bogus"), std::out_of_range);
+    EXPECT_FALSE(sched::code_label(sched::Code::E).empty());
+}
+
+TEST(Validity, GpuImplementationsNeedAGpu) {
+    sched::RunConfig cfg;
+    cfg.machine = model::MachineSpec::jaguarpf();
+    cfg.nodes = 2;
+    cfg.threads_per_task = 6;
+    for (auto c : {sched::Code::E, sched::Code::F, sched::Code::G,
+                   sched::Code::H, sched::Code::I})
+        EXPECT_EQ(sched::model_gflops(c, cfg), 0.0)
+            << sched::code_label(c) << " on a GPU-less machine";
+    EXPECT_GT(sched::model_gflops(sched::Code::B, cfg), 0.0);
+}
+
+TEST(Validity, SingleTaskAndResidentAreSingleNode) {
+    auto cfg = yona_config(/*nodes=*/2);
+    EXPECT_EQ(sched::model_gflops(sched::Code::A, cfg), 0.0);
+    EXPECT_EQ(sched::model_gflops(sched::Code::E, cfg), 0.0);
+    cfg.nodes = 1;
+    EXPECT_GT(sched::model_gflops(sched::Code::A, cfg), 0.0);
+    EXPECT_GT(sched::model_gflops(sched::Code::E, cfg), 0.0);
+}
+
+TEST(Validity, InfeasibleBoxGivesZero) {
+    auto cfg = yona_config(16, 12);
+    cfg.box_thickness = 200;  // exceeds any local extent
+    EXPECT_EQ(sched::model_gflops(sched::Code::I, cfg), 0.0);
+}
+
+TEST(SectionVE, SingleNodeYonaAnchors) {
+    // The calibration anchors (§V-E): 86 / 24 / 35 / 82 GF. Regression-test
+    // the model against them with generous tolerances so refactors that
+    // break calibration are caught.
+    const auto m = model::MachineSpec::yona();
+    const int one_node[] = {1};
+    const double e = sched::best_series(sched::Code::E, m, one_node)[0].gf;
+    const double f = sched::best_series(sched::Code::F, m, one_node)[0].gf;
+    const double g = sched::best_series(sched::Code::G, m, one_node)[0].gf;
+    const double i = sched::best_series(sched::Code::I, m, one_node)[0].gf;
+    EXPECT_NEAR(e, 86.0, 86.0 * 0.10);
+    EXPECT_NEAR(f, 24.0, 24.0 * 0.25);
+    EXPECT_NEAR(g, 35.0, 35.0 * 0.20);
+    EXPECT_NEAR(i, 82.0, 82.0 * 0.15);
+    EXPECT_LT(f, g);
+    EXPECT_LT(g, i);
+    EXPECT_GT(i, 2.0 * g);  // "improve performance by more than a factor of two"
+}
+
+TEST(Scaling, BulkSyncGrowsWithNodes) {
+    const auto m = model::MachineSpec::jaguarpf();
+    double prev = 0.0;
+    for (int nodes : {8, 32, 128, 512}) {
+        sched::RunConfig cfg;
+        cfg.machine = m;
+        cfg.nodes = nodes;
+        cfg.threads_per_task = 6;
+        const double gf = sched::model_gflops(sched::Code::B, cfg);
+        EXPECT_GT(gf, prev);
+        prev = gf;
+    }
+}
+
+TEST(Scaling, StrongScalingEfficiencyDecays) {
+    const auto m = model::MachineSpec::hopper2();
+    sched::RunConfig small = {m, 8, 12};
+    sched::RunConfig large = {m, 2048, 12};
+    const double gf_small = sched::model_gflops(sched::Code::B, small);
+    const double gf_large = sched::model_gflops(sched::Code::B, large);
+    const double speedup = gf_large / gf_small;
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 2048.0 / 8.0);  // sublinear: comm costs grow
+}
+
+TEST(StepTime, InfeasibleConfigsReturnInfinity) {
+    auto cfg = yona_config();
+    cfg.threads_per_task = 64;  // more threads than cores
+    EXPECT_FALSE(std::isfinite(sched::step_time(sched::Code::B, cfg)));
+    auto tiny = yona_config();
+    tiny.n = 2;
+    tiny.nodes = 16;  // more tasks than grid points? 16 tasks > 8 points
+    tiny.threads_per_task = 12;
+    EXPECT_FALSE(std::isfinite(sched::step_time(sched::Code::B, tiny)));
+}
+
+TEST(StepTime, GpuBlockMustFitDevice) {
+    auto cfg = yona_config();
+    cfg.block_x = 32;
+    cfg.block_y = 29;  // 34 x 31 = 1054 > 1024 threads
+    EXPECT_FALSE(std::isfinite(sched::step_time(sched::Code::E, cfg)));
+}
+
+TEST(Overlap, FullOverlapBeatsBulkCpuGpuEverywhere) {
+    const auto m = model::MachineSpec::yona();
+    for (int nodes : {1, 4, 16}) {
+        const int nn[] = {nodes};
+        const double h = sched::best_series(sched::Code::H, m, nn)[0].gf;
+        const double i = sched::best_series(sched::Code::I, m, nn)[0].gf;
+        EXPECT_GT(i, h) << nodes << " nodes";
+    }
+}
+
+TEST(Overlap, ThreadOverlapLagsOnBothCrayMachines) {
+    for (const auto& m :
+         {model::MachineSpec::jaguarpf(), model::MachineSpec::hopper2()}) {
+        const int nn[] = {64};
+        const double b = sched::best_series(sched::Code::B, m, nn)[0].gf;
+        const double d = sched::best_series(sched::Code::D, m, nn)[0].gf;
+        EXPECT_LT(d, b) << m.name;
+    }
+}
+
+TEST(Sweeps, BestSeriesPicksAtLeastAsGoodAsAnyFixedChoice) {
+    const auto m = model::MachineSpec::jaguarpf();
+    const int nn[] = {32};
+    const auto best = sched::best_series(sched::Code::B, m, nn)[0];
+    for (int t : m.threads_per_task_choices()) {
+        const auto fixed = sched::threads_series(sched::Code::B, m, nn, t)[0];
+        EXPECT_GE(best.gf, fixed.gf - 1e-9) << "threads " << t;
+    }
+}
+
+TEST(Sweeps, DefaultNodeCountsRespectMachineRanges) {
+    EXPECT_EQ(sched::default_node_counts(model::MachineSpec::hopper2()).back(),
+              2048);  // 49152 cores
+    EXPECT_LE(sched::default_node_counts(model::MachineSpec::jaguarpf()).back(),
+              1024);
+    const auto lens = sched::default_node_counts(model::MachineSpec::lens());
+    EXPECT_LE(lens.back(), 31);
+    const auto yona = sched::default_node_counts(model::MachineSpec::yona());
+    EXPECT_EQ(yona.back(), 16);
+}
+
+TEST(Sweeps, ComboSeriesMatchesDirectEvaluation) {
+    const auto m = model::MachineSpec::yona();
+    const int nn[] = {4};
+    const auto combo =
+        sched::combo_series(sched::Code::I, m, nn, /*threads=*/12, /*box=*/2);
+    auto cfg = yona_config(4, 12);
+    cfg.box_thickness = 2;
+    EXPECT_DOUBLE_EQ(combo[0].gf, sched::model_gflops(sched::Code::I, cfg));
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for stencil application over regions, the interior/boundary
+// partition used by the overlap implementations, z-splitting, and the
+// RowSpace flattened iteration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <random>
+
+#include "core/halo.hpp"
+#include "core/rows.hpp"
+#include "core/stencil.hpp"
+
+namespace core = advect::core;
+
+namespace {
+
+core::Field3 random_field(core::Extents3 n, unsigned seed) {
+    core::Field3 f(n);
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    for (int k = -1; k <= n.nz; ++k)
+        for (int j = -1; j <= n.ny; ++j)
+            for (int i = -1; i <= n.nx; ++i) f(i, j, k) = d(rng);
+    return f;
+}
+
+TEST(Stencil, PointMatchesManualSum) {
+    const core::Extents3 n{4, 4, 4};
+    auto f = random_field(n, 1);
+    const auto a = core::tensor_product_coeffs({0.3, -0.5, 0.8}, 0.7);
+    double manual = 0.0;
+    for (int dk = -1; dk <= 1; ++dk)
+        for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di)
+                manual += a.at(di, dj, dk) * f(2 + di, 1 + dj, 3 + dk);
+    EXPECT_DOUBLE_EQ(core::stencil_point(a, f, 2, 1, 3), manual);
+}
+
+TEST(Stencil, RegionApplicationWritesOnlyRegion) {
+    const core::Extents3 n{6, 6, 6};
+    auto in = random_field(n, 2);
+    core::Field3 out(n, -77.0);
+    const auto a = core::tensor_product_coeffs({1, 1, 1}, 0.5);
+    const core::Range3 r{{1, 2, 3}, {4, 5, 6}};
+    core::apply_stencil(a, in, out, r);
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i) {
+                if (r.contains({i, j, k}))
+                    ASSERT_EQ(out(i, j, k), core::stencil_point(a, in, i, j, k));
+                else
+                    ASSERT_EQ(out(i, j, k), -77.0);
+            }
+}
+
+TEST(Stencil, PartitionedApplicationEqualsFused) {
+    // Applying interior + boundary separately must produce exactly the
+    // full-interior sweep: the core equivalence behind §IV-C/D/I.
+    const core::Extents3 n{7, 5, 6};
+    auto in = random_field(n, 3);
+    const auto a = core::tensor_product_coeffs({0.9, 0.2, -0.4}, 0.8);
+    core::Field3 fused(n), split(n);
+    core::apply_stencil(a, in, fused);
+    const auto parts = core::partition_interior_boundary(n);
+    core::apply_stencil(a, in, split, parts.interior);
+    for (const auto& slab : parts.boundary)
+        core::apply_stencil(a, in, split, slab);
+    EXPECT_TRUE(fused.interior_equals(split));
+}
+
+TEST(InteriorBoundary, CoversDomainDisjointly) {
+    for (const auto n : {core::Extents3{5, 5, 5}, core::Extents3{3, 4, 7},
+                         core::Extents3{2, 5, 5}, core::Extents3{1, 1, 1},
+                         core::Extents3{2, 2, 2}}) {
+        const auto parts = core::partition_interior_boundary(n);
+        core::Field3 cover(n, 0.0);
+        auto mark = [&cover](const core::Range3& r) {
+            for (int k = r.lo.k; k < r.hi.k; ++k)
+                for (int j = r.lo.j; j < r.hi.j; ++j)
+                    for (int i = r.lo.i; i < r.hi.i; ++i)
+                        cover(i, j, k) += 1.0;
+        };
+        if (!parts.interior.empty()) mark(parts.interior);
+        for (const auto& slab : parts.boundary) mark(slab);
+        for (int k = 0; k < n.nz; ++k)
+            for (int j = 0; j < n.ny; ++j)
+                for (int i = 0; i < n.nx; ++i)
+                    ASSERT_EQ(cover(i, j, k), 1.0)
+                        << "point (" << i << "," << j << "," << k
+                        << ") covered wrong number of times";
+    }
+}
+
+TEST(InteriorBoundary, BoundaryIsExactlyTheHaloTouchingShell) {
+    const core::Extents3 n{6, 5, 4};
+    const auto parts = core::partition_interior_boundary(n);
+    for (const auto& slab : parts.boundary)
+        for (int k = slab.lo.k; k < slab.hi.k; ++k)
+            for (int j = slab.lo.j; j < slab.hi.j; ++j)
+                for (int i = slab.lo.i; i < slab.hi.i; ++i) {
+                    const bool touches = i == 0 || i == n.nx - 1 || j == 0 ||
+                                         j == n.ny - 1 || k == 0 ||
+                                         k == n.nz - 1;
+                    ASSERT_TRUE(touches);
+                }
+    EXPECT_EQ(parts.interior.volume(),
+              static_cast<std::size_t>((n.nx - 2) * (n.ny - 2) * (n.nz - 2)));
+}
+
+TEST(SplitZ, BalancedAndCovering) {
+    const core::Range3 r{{0, 0, 2}, {4, 4, 13}};  // 11 z planes
+    const auto thirds = core::split_z(r, 3);
+    ASSERT_EQ(thirds.size(), 3u);
+    EXPECT_EQ(thirds[0].lo.k, 2);
+    EXPECT_EQ(thirds[2].hi.k, 13);
+    std::size_t total = 0;
+    int max_len = 0, min_len = 1 << 30;
+    for (const auto& t : thirds) {
+        total += t.volume();
+        const int len = t.hi.k - t.lo.k;
+        max_len = std::max(max_len, len);
+        min_len = std::min(min_len, len);
+        EXPECT_EQ(t.lo.i, r.lo.i);
+        EXPECT_EQ(t.hi.j, r.hi.j);
+    }
+    EXPECT_EQ(total, r.volume());
+    EXPECT_LE(max_len - min_len, 1);
+}
+
+TEST(SplitZ, MorePartsThanPlanes) {
+    const core::Range3 r{{0, 0, 0}, {2, 2, 2}};
+    const auto parts = core::split_z(r, 5);
+    EXPECT_EQ(parts.size(), 2u);  // empty parts omitted
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.volume();
+    EXPECT_EQ(total, r.volume());
+}
+
+TEST(SplitZ, EmptyRegion) {
+    EXPECT_TRUE(core::split_z({{0, 0, 3}, {4, 4, 3}}, 3).empty());
+}
+
+TEST(RowSpace, EnumeratesEveryRowOnce) {
+    std::vector<core::Range3> regions = {{{0, 0, 0}, {5, 3, 2}},
+                                         {{1, 4, 2}, {4, 6, 5}},
+                                         {{2, 2, 2}, {2, 9, 9}}};  // empty
+    const core::RowSpace rows(regions);
+    EXPECT_EQ(rows.size(), 3 * 2 + 2 * 3);
+    EXPECT_EQ(rows.points(), 5u * 3 * 2 + 3u * 2 * 3);
+    // Every (j, k) row of every region appears exactly once.
+    std::map<std::tuple<int, int, int, int>, int> seen;
+    for (std::int64_t f = 0; f < rows.size(); ++f) {
+        const auto r = rows.row(f);
+        seen[{r.xlo, r.xhi, r.j, r.k}]++;
+    }
+    for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(rows.size()));
+}
+
+TEST(RowSpace, ApplyRowsMatchesApplyStencil) {
+    const core::Extents3 n{6, 6, 6};
+    auto in = random_field(n, 4);
+    const auto a = core::tensor_product_coeffs({1, 0.5, 0.25}, 0.9);
+    core::Field3 direct(n), via_rows(n);
+    core::apply_stencil(a, in, direct);
+    const core::RowSpace rows({in.interior()});
+    // Apply in two arbitrary chunks to exercise the [lo, hi) interface.
+    core::apply_stencil_rows(a, in, via_rows, rows, 0, rows.size() / 3);
+    core::apply_stencil_rows(a, in, via_rows, rows, rows.size() / 3,
+                             rows.size());
+    EXPECT_TRUE(direct.interior_equals(via_rows));
+}
+
+TEST(RowSpace, CopyRowsCopies) {
+    const core::Extents3 n{4, 5, 3};
+    auto src = random_field(n, 5);
+    core::Field3 dst(n, 0.0);
+    const core::RowSpace rows({src.interior()});
+    core::copy_rows(src, dst, rows, 0, rows.size());
+    EXPECT_TRUE(dst.interior_equals(src));
+}
+
+}  // namespace

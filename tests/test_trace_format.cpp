@@ -1,0 +1,78 @@
+// Tests for the trace renderers: interval listings are complete and
+// ordered; the Gantt scales intervals onto the requested width and
+// truncates long traces.
+
+#include <gtest/gtest.h>
+
+#include "des/trace_format.hpp"
+
+namespace des = advect::des;
+
+namespace {
+
+des::Engine two_task_engine() {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto a = eng.add_task("first", 2.0, {{cpu, 1}}, {});
+    eng.add_task("second", 1.0, {{cpu, 1}}, {a});
+    eng.run();
+    return eng;
+}
+
+TEST(RenderIntervals, ListsEveryTaskWithTimes) {
+    const auto eng = two_task_engine();
+    const auto text = des::render_intervals(eng);
+    EXPECT_NE(text.find("first"), std::string::npos);
+    EXPECT_NE(text.find("second"), std::string::npos);
+    EXPECT_NE(text.find("2.000000"), std::string::npos);   // first ends at 2
+    EXPECT_NE(text.find("3.000000"), std::string::npos);   // second ends at 3
+    // Header plus one line per task.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(RenderGantt, BarsSpanProportionally) {
+    const auto eng = two_task_engine();
+    des::GanttOptions opt;
+    opt.width = 30;
+    const auto text = des::render_gantt(eng, opt);
+    // 'first' occupies 2/3 of the span: ~20 of 30 columns.
+    const auto first_line = text.substr(text.find("first"));
+    const auto bar = first_line.substr(first_line.find('|'));
+    const auto hashes =
+        std::count(bar.begin(), bar.begin() + 32, '#');
+    EXPECT_GE(hashes, 18);
+    EXPECT_LE(hashes, 21);
+}
+
+TEST(RenderGantt, TruncatesLongTraces) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 4);
+    for (int i = 0; i < 40; ++i) eng.add_task("t", 1.0, {{cpu, 1}}, {});
+    eng.run();
+    des::GanttOptions opt;
+    opt.max_rows = 10;
+    const auto text = des::render_gantt(eng, opt);
+    EXPECT_NE(text.find("more tasks"), std::string::npos);
+    EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 15);
+}
+
+TEST(RenderGantt, EmptyEngine) {
+    des::Engine eng;
+    eng.add_resource("cpu", 1);
+    eng.run();
+    EXPECT_EQ(des::render_gantt(eng), "(empty trace)\n");
+}
+
+TEST(RenderGantt, ZeroDurationTasksStillVisible) {
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 1);
+    const auto a = eng.add_task("anchor", 0.0, {{cpu, 1}}, {});
+    eng.add_task("work", 1.0, {{cpu, 1}}, {a});
+    eng.run();
+    const auto text = des::render_gantt(eng);
+    // The zero-duration anchor gets at least a one-column bar.
+    const auto anchor_line = text.substr(text.find("anchor"));
+    EXPECT_NE(anchor_line.find('#'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the autotuner: the exhaustive grid matches the sweeps-layer
+// best, coordinate descent reaches near-optimal performance with far fewer
+// evaluations, infeasible spaces degrade gracefully, and the tuned
+// parameters reproduce the paper's qualitative tuning findings.
+
+#include <gtest/gtest.h>
+
+#include "sched/sweeps.hpp"
+#include "tune/tuner.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+namespace tune = advect::tune;
+
+namespace {
+
+sched::RunConfig yona(int nodes) {
+    sched::RunConfig cfg;
+    cfg.machine = model::MachineSpec::yona();
+    cfg.nodes = nodes;
+    return cfg;
+}
+
+TEST(TuningSpace, FullSpaceShapes) {
+    const auto m = model::MachineSpec::yona();
+    const auto cpu = tune::TuningSpace::full(m, sched::Code::B);
+    EXPECT_FALSE(cpu.threads.empty());
+    EXPECT_TRUE(cpu.boxes.empty());   // no box for CPU-only code
+    EXPECT_TRUE(cpu.blocks.empty());  // no GPU blocks either
+    const auto gpu = tune::TuningSpace::full(m, sched::Code::I);
+    EXPECT_FALSE(gpu.boxes.empty());
+    EXPECT_FALSE(gpu.blocks.empty());
+    EXPECT_GT(gpu.size(), cpu.size());
+    // Every block in the space fits the device.
+    for (auto [bx, by] : gpu.blocks)
+        EXPECT_TRUE(model::block_fits(*m.gpu, bx, by));
+    // cc 1.3's 512-thread limit prunes the Lens space harder.
+    const auto lens =
+        tune::TuningSpace::full(model::MachineSpec::lens(), sched::Code::I);
+    EXPECT_LT(lens.blocks.size(), gpu.blocks.size());
+}
+
+TEST(GridSearch, MatchesSweepsBestSeries) {
+    const auto m = model::MachineSpec::yona();
+    const auto cfg = yona(4);
+    tune::TuningSpace space;
+    space.threads = m.threads_per_task_choices();
+    space.boxes = sched::box_choices();
+    // Pin the block at the sweeps layer's default so the comparison is
+    // apples-to-apples.
+    const auto best = tune::grid_search(sched::Code::I, cfg, space);
+    const int nn[] = {4};
+    const auto series = sched::best_series(sched::Code::I, m, nn);
+    EXPECT_NEAR(best.gf, series[0].gf, 1e-9);
+    EXPECT_EQ(best.threads_per_task, series[0].threads);
+    EXPECT_EQ(best.box_thickness, series[0].box);
+}
+
+TEST(GridSearch, CountsEvaluations) {
+    const auto cfg = yona(1);
+    tune::TuningSpace space;
+    space.threads = {1, 6, 12};
+    space.boxes = {1, 2};
+    tune::SearchStats stats;
+    (void)tune::grid_search(sched::Code::I, cfg, space, &stats);
+    EXPECT_EQ(stats.evaluations, 6);
+}
+
+TEST(CoordinateDescent, NearOptimalWithFarFewerEvaluations) {
+    const auto m = model::MachineSpec::yona();
+    const auto cfg = yona(4);
+    const auto space = tune::TuningSpace::full(m, sched::Code::I);
+    tune::SearchStats grid_stats, cd_stats;
+    const auto grid =
+        tune::grid_search(sched::Code::I, cfg, space, &grid_stats);
+    const auto cd = tune::coordinate_descent(sched::Code::I, cfg, space,
+                                             std::nullopt, &cd_stats);
+    EXPECT_GE(cd.gf, 0.9 * grid.gf) << "local optimum too far from global";
+    EXPECT_LT(cd_stats.evaluations, grid_stats.evaluations / 2);
+    EXPECT_GT(cd.gf, 0.0);
+}
+
+TEST(CoordinateDescent, FixedPointIsStable) {
+    const auto m = model::MachineSpec::yona();
+    const auto cfg = yona(1);
+    const auto space = tune::TuningSpace::full(m, sched::Code::I);
+    const auto first = tune::coordinate_descent(sched::Code::I, cfg, space);
+    // Restarting from the found optimum must not move.
+    const auto second =
+        tune::coordinate_descent(sched::Code::I, cfg, space, first);
+    EXPECT_EQ(second, first);
+}
+
+TEST(Tuner, PaperQualitativeFindings) {
+    // §V-E / Figs. 11-12: on Yona the tuned configuration uses few tasks
+    // per node and a thin box; at larger node counts the box thins further.
+    const auto m = model::MachineSpec::yona();
+    const auto space = tune::TuningSpace::full(m, sched::Code::I);
+    const auto one = tune::grid_search(sched::Code::I, yona(1), space);
+    const auto sixteen = tune::grid_search(sched::Code::I, yona(16), space);
+    EXPECT_GE(one.threads_per_task, m.cores_per_node() / 2);
+    EXPECT_LE(sixteen.box_thickness, one.box_thickness);
+    EXPECT_LE(sixteen.box_thickness, 3);
+    // Tuned blocks keep x at the warp size (Figs. 7-8).
+    EXPECT_EQ(one.block_x, 32);
+}
+
+TEST(Tuner, InfeasibleSpaceReturnsZero) {
+    auto cfg = yona(1);
+    cfg.machine = model::MachineSpec::jaguarpf();  // no GPU
+    tune::TuningSpace space;
+    space.threads = {6};
+    const auto best = tune::grid_search(sched::Code::I, cfg, space);
+    EXPECT_EQ(best.gf, 0.0);
+}
+
+TEST(Tuner, EmptyDimensionsPinBaseValues) {
+    auto cfg = yona(1);
+    cfg.threads_per_task = 6;
+    cfg.box_thickness = 2;
+    tune::TuningSpace space;  // everything empty
+    tune::SearchStats stats;
+    const auto best = tune::grid_search(sched::Code::I, cfg, space, &stats);
+    EXPECT_EQ(stats.evaluations, 1);
+    EXPECT_EQ(best.threads_per_task, 6);
+    EXPECT_EQ(best.box_thickness, 2);
+}
+
+}  // namespace

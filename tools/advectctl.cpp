@@ -1,0 +1,180 @@
+/// \file advectctl.cpp
+/// The repository's command-line driver: one binary exposing the library's
+/// main entry points.
+///
+///   advectctl solve   [impl] [n] [steps] [tasks] [threads]
+///       run one of the nine implementations for real and verify it
+///   advectctl model   [machine] [impl] [nodes] [threads] [box]
+///       modelled step time / GF / utilization for one configuration
+///   advectctl tune    [machine] [nodes]
+///       autotune the full-overlap implementation (§VI)
+///   advectctl scaling [machine] [impl]
+///       modelled best-GF strong-scaling series
+///   advectctl machines
+///       list the Table II machine models
+///   advectctl impls
+///       list the nine §IV implementations
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "impl/registry.hpp"
+#include "sched/report.hpp"
+#include "sched/sweeps.hpp"
+#include "tune/tuner.hpp"
+
+namespace core = advect::core;
+namespace impl = advect::impl;
+namespace model = advect::model;
+namespace sched = advect::sched;
+namespace tune = advect::tune;
+
+namespace {
+
+model::MachineSpec machine_by_name(const std::string& name) {
+    if (name == "jaguarpf") return model::MachineSpec::jaguarpf();
+    if (name == "hopper2") return model::MachineSpec::hopper2();
+    if (name == "lens") return model::MachineSpec::lens();
+    if (name == "yona") return model::MachineSpec::yona();
+    std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+int cmd_solve(int argc, char** argv) {
+    const std::string id = argc > 0 ? argv[0] : "cpu_gpu_overlap";
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(argc > 1 ? std::atoi(argv[1]) : 24);
+    cfg.steps = argc > 2 ? std::atoi(argv[2]) : 8;
+    cfg.ntasks = argc > 3 ? std::atoi(argv[3]) : 4;
+    cfg.threads_per_task = argc > 4 ? std::atoi(argv[4]) : 2;
+    cfg.block_x = 8;
+    cfg.block_y = 4;
+
+    const auto& entry = impl::find_implementation(id);
+    if (!entry.uses_mpi) cfg.ntasks = 1;
+    std::printf("solving %d^3 x %d steps with %s (%s)...\n",
+                cfg.problem.domain.n, cfg.steps, entry.id.c_str(),
+                entry.paper_section.c_str());
+    const auto r = entry.solve(cfg);
+    const auto ref = core::run_reference(cfg.problem, cfg.steps);
+    std::printf("  wall %.3f s   host %.2f GF   Linf vs analytic %.3e   "
+                "matches reference: %s\n",
+                r.wall_seconds, r.gf(cfg), r.error.linf,
+                r.state.interior_equals(ref) ? "yes" : "NO");
+    return r.state.interior_equals(ref) ? 0 : 1;
+}
+
+int cmd_model(int argc, char** argv) {
+    sched::RunConfig cfg;
+    cfg.machine = machine_by_name(argc > 0 ? argv[0] : "yona");
+    const auto code = sched::code_from_id(argc > 1 ? argv[1] : "cpu_gpu_overlap");
+    cfg.nodes = argc > 2 ? std::atoi(argv[2]) : 1;
+    cfg.threads_per_task = argc > 3 ? std::atoi(argv[3])
+                                    : cfg.machine.cores_per_node();
+    cfg.box_thickness = argc > 4 ? std::atoi(argv[4]) : 1;
+    const auto report = sched::step_report(code, cfg);
+    std::fputs(sched::format_report(code, cfg, report).c_str(), stdout);
+    return 0;
+}
+
+int cmd_tune(int argc, char** argv) {
+    sched::RunConfig base;
+    base.machine = machine_by_name(argc > 0 ? argv[0] : "yona");
+    base.nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+    const auto space = tune::TuningSpace::full(base.machine, sched::Code::I);
+    tune::SearchStats stats;
+    const auto best = tune::coordinate_descent(sched::Code::I, base, space,
+                                               std::nullopt, &stats);
+    std::printf("tuned IV-I on %s, %d node(s): %d thr/task, box %d, block "
+                "%dx%d -> %.1f GF (%d evaluations)\n",
+                base.machine.name.c_str(), base.nodes, best.threads_per_task,
+                best.box_thickness, best.block_x, best.block_y, best.gf,
+                stats.evaluations);
+    return best.gf > 0.0 ? 0 : 1;
+}
+
+int cmd_scaling(int argc, char** argv) {
+    const auto m = machine_by_name(argc > 0 ? argv[0] : "yona");
+    const auto code = sched::code_from_id(argc > 1 ? argv[1] : "mpi_bulk");
+    const auto nodes = sched::default_node_counts(m);
+    const auto series = sched::best_series(code, m, nodes);
+    std::printf("%s, %s: best modelled GF\n", m.name.c_str(),
+                sched::code_label(code).c_str());
+    for (const auto& p : series)
+        std::printf("  %8d cores  %10.1f GF  (T=%d%s)\n", p.cores, p.gf,
+                    p.threads,
+                    p.box > 0 ? (", box=" + std::to_string(p.box)).c_str()
+                              : "");
+    return 0;
+}
+
+int cmd_gantt(int argc, char** argv) {
+    sched::RunConfig cfg;
+    cfg.machine = machine_by_name(argc > 0 ? argv[0] : "yona");
+    const auto code =
+        sched::code_from_id(argc > 1 ? argv[1] : "cpu_gpu_overlap");
+    cfg.nodes = argc > 2 ? std::atoi(argv[2]) : 1;
+    cfg.threads_per_task = argc > 3 ? std::atoi(argv[3])
+                                    : cfg.machine.cores_per_node();
+    std::printf("%s on %s, %d node(s): two modelled steps\n",
+                sched::code_label(code).c_str(), cfg.machine.name.c_str(),
+                cfg.nodes);
+    std::fputs(sched::render_step_gantt(code, cfg).c_str(), stdout);
+    return 0;
+}
+
+int cmd_machines() {
+    for (const auto& m :
+         {model::MachineSpec::jaguarpf(), model::MachineSpec::hopper2(),
+          model::MachineSpec::lens(), model::MachineSpec::yona()}) {
+        std::printf("%-34s %6d nodes x %2d cores  %-16s %s\n", m.name.c_str(),
+                    m.nodes, m.cores_per_node(), m.interconnect.c_str(),
+                    m.gpu ? m.gpu->props.name.c_str() : "-");
+    }
+    return 0;
+}
+
+int cmd_impls() {
+    for (const auto& e : impl::registry())
+        std::printf("%-20s %-6s %s\n", e.id.c_str(), e.paper_section.c_str(),
+                    e.description.c_str());
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: advectctl "
+                 "<solve|model|tune|scaling|gantt|machines|impls> "
+                 "[args...]\n"
+                 "  solve   [impl] [n] [steps] [tasks] [threads]\n"
+                 "  model   [machine] [impl] [nodes] [threads] [box]\n"
+                 "  tune    [machine] [nodes]\n"
+                 "  scaling [machine] [impl]\n"
+                 "  gantt   [machine] [impl] [nodes] [threads]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
+        if (cmd == "model") return cmd_model(argc - 2, argv + 2);
+        if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
+        if (cmd == "scaling") return cmd_scaling(argc - 2, argv + 2);
+        if (cmd == "gantt") return cmd_gantt(argc - 2, argv + 2);
+        if (cmd == "machines") return cmd_machines();
+        if (cmd == "impls") return cmd_impls();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 2;
+}
