@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cores_per_gpu"
+  "../bench/bench_ablation_cores_per_gpu.pdb"
+  "CMakeFiles/bench_ablation_cores_per_gpu.dir/bench_ablation_cores_per_gpu.cpp.o"
+  "CMakeFiles/bench_ablation_cores_per_gpu.dir/bench_ablation_cores_per_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cores_per_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

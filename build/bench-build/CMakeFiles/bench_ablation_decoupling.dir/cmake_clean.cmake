@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_decoupling"
+  "../bench/bench_ablation_decoupling.pdb"
+  "CMakeFiles/bench_ablation_decoupling.dir/bench_ablation_decoupling.cpp.o"
+  "CMakeFiles/bench_ablation_decoupling.dir/bench_ablation_decoupling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_block_vs_scale"
+  "../bench/bench_extension_block_vs_scale.pdb"
+  "CMakeFiles/bench_extension_block_vs_scale.dir/bench_extension_block_vs_scale.cpp.o"
+  "CMakeFiles/bench_extension_block_vs_scale.dir/bench_extension_block_vs_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_block_vs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

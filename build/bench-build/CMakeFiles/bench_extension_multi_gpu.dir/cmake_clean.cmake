@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_multi_gpu"
+  "../bench/bench_extension_multi_gpu.pdb"
+  "CMakeFiles/bench_extension_multi_gpu.dir/bench_extension_multi_gpu.cpp.o"
+  "CMakeFiles/bench_extension_multi_gpu.dir/bench_extension_multi_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section5e"
+  "../bench/bench_section5e.pdb"
+  "CMakeFiles/bench_section5e.dir/bench_section5e.cpp.o"
+  "CMakeFiles/bench_section5e.dir/bench_section5e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section5e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

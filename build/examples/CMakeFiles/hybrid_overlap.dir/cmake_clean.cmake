@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_overlap.dir/hybrid_overlap.cpp.o"
+  "CMakeFiles/hybrid_overlap.dir/hybrid_overlap.cpp.o.d"
+  "hybrid_overlap"
+  "hybrid_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

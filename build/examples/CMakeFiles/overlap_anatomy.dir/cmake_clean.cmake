@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_anatomy.dir/overlap_anatomy.cpp.o"
+  "CMakeFiles/overlap_anatomy.dir/overlap_anatomy.cpp.o.d"
+  "overlap_anatomy"
+  "overlap_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_scale.dir/paper_scale.cpp.o"
+  "CMakeFiles/paper_scale.dir/paper_scale.cpp.o.d"
+  "paper_scale"
+  "paper_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/box_partition.cpp" "src/core/CMakeFiles/advect_core.dir/box_partition.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/box_partition.cpp.o.d"
+  "/root/repo/src/core/coefficients.cpp" "src/core/CMakeFiles/advect_core.dir/coefficients.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/coefficients.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/core/CMakeFiles/advect_core.dir/decomposition.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/decomposition.cpp.o.d"
+  "/root/repo/src/core/field.cpp" "src/core/CMakeFiles/advect_core.dir/field.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/field.cpp.o.d"
+  "/root/repo/src/core/halo.cpp" "src/core/CMakeFiles/advect_core.dir/halo.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/halo.cpp.o.d"
+  "/root/repo/src/core/initial.cpp" "src/core/CMakeFiles/advect_core.dir/initial.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/initial.cpp.o.d"
+  "/root/repo/src/core/norms.cpp" "src/core/CMakeFiles/advect_core.dir/norms.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/norms.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/advect_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/rows.cpp" "src/core/CMakeFiles/advect_core.dir/rows.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/rows.cpp.o.d"
+  "/root/repo/src/core/stencil.cpp" "src/core/CMakeFiles/advect_core.dir/stencil.cpp.o" "gcc" "src/core/CMakeFiles/advect_core.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_core.dir/box_partition.cpp.o"
+  "CMakeFiles/advect_core.dir/box_partition.cpp.o.d"
+  "CMakeFiles/advect_core.dir/coefficients.cpp.o"
+  "CMakeFiles/advect_core.dir/coefficients.cpp.o.d"
+  "CMakeFiles/advect_core.dir/decomposition.cpp.o"
+  "CMakeFiles/advect_core.dir/decomposition.cpp.o.d"
+  "CMakeFiles/advect_core.dir/field.cpp.o"
+  "CMakeFiles/advect_core.dir/field.cpp.o.d"
+  "CMakeFiles/advect_core.dir/halo.cpp.o"
+  "CMakeFiles/advect_core.dir/halo.cpp.o.d"
+  "CMakeFiles/advect_core.dir/initial.cpp.o"
+  "CMakeFiles/advect_core.dir/initial.cpp.o.d"
+  "CMakeFiles/advect_core.dir/norms.cpp.o"
+  "CMakeFiles/advect_core.dir/norms.cpp.o.d"
+  "CMakeFiles/advect_core.dir/problem.cpp.o"
+  "CMakeFiles/advect_core.dir/problem.cpp.o.d"
+  "CMakeFiles/advect_core.dir/rows.cpp.o"
+  "CMakeFiles/advect_core.dir/rows.cpp.o.d"
+  "CMakeFiles/advect_core.dir/stencil.cpp.o"
+  "CMakeFiles/advect_core.dir/stencil.cpp.o.d"
+  "libadvect_core.a"
+  "libadvect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

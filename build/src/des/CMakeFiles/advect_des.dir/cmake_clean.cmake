@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_des.dir/engine.cpp.o"
+  "CMakeFiles/advect_des.dir/engine.cpp.o.d"
+  "CMakeFiles/advect_des.dir/trace_format.cpp.o"
+  "CMakeFiles/advect_des.dir/trace_format.cpp.o.d"
+  "libadvect_des.a"
+  "libadvect_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

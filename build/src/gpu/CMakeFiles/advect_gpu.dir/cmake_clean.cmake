@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_gpu.dir/device.cpp.o"
+  "CMakeFiles/advect_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/advect_gpu.dir/types.cpp.o"
+  "CMakeFiles/advect_gpu.dir/types.cpp.o.d"
+  "libadvect_gpu.a"
+  "libadvect_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

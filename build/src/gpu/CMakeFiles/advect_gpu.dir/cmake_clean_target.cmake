@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadvect_gpu.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impl/cpu_gpu_bulk.cpp" "src/impl/CMakeFiles/advect_impl.dir/cpu_gpu_bulk.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/cpu_gpu_bulk.cpp.o.d"
+  "/root/repo/src/impl/cpu_gpu_overlap.cpp" "src/impl/CMakeFiles/advect_impl.dir/cpu_gpu_overlap.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/cpu_gpu_overlap.cpp.o.d"
+  "/root/repo/src/impl/cpu_kernels.cpp" "src/impl/CMakeFiles/advect_impl.dir/cpu_kernels.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/cpu_kernels.cpp.o.d"
+  "/root/repo/src/impl/device_field.cpp" "src/impl/CMakeFiles/advect_impl.dir/device_field.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/device_field.cpp.o.d"
+  "/root/repo/src/impl/exchange.cpp" "src/impl/CMakeFiles/advect_impl.dir/exchange.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/exchange.cpp.o.d"
+  "/root/repo/src/impl/gpu_mpi_bulk.cpp" "src/impl/CMakeFiles/advect_impl.dir/gpu_mpi_bulk.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/gpu_mpi_bulk.cpp.o.d"
+  "/root/repo/src/impl/gpu_mpi_streams.cpp" "src/impl/CMakeFiles/advect_impl.dir/gpu_mpi_streams.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/gpu_mpi_streams.cpp.o.d"
+  "/root/repo/src/impl/gpu_resident.cpp" "src/impl/CMakeFiles/advect_impl.dir/gpu_resident.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/gpu_resident.cpp.o.d"
+  "/root/repo/src/impl/gpu_task.cpp" "src/impl/CMakeFiles/advect_impl.dir/gpu_task.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/gpu_task.cpp.o.d"
+  "/root/repo/src/impl/mpi_bulk.cpp" "src/impl/CMakeFiles/advect_impl.dir/mpi_bulk.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/mpi_bulk.cpp.o.d"
+  "/root/repo/src/impl/mpi_nonblocking.cpp" "src/impl/CMakeFiles/advect_impl.dir/mpi_nonblocking.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/mpi_nonblocking.cpp.o.d"
+  "/root/repo/src/impl/mpi_thread_overlap.cpp" "src/impl/CMakeFiles/advect_impl.dir/mpi_thread_overlap.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/mpi_thread_overlap.cpp.o.d"
+  "/root/repo/src/impl/registry.cpp" "src/impl/CMakeFiles/advect_impl.dir/registry.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/registry.cpp.o.d"
+  "/root/repo/src/impl/single_task.cpp" "src/impl/CMakeFiles/advect_impl.dir/single_task.cpp.o" "gcc" "src/impl/CMakeFiles/advect_impl.dir/single_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/advect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/advect_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/advect_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/advect_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

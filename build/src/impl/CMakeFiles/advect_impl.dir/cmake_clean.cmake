@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_impl.dir/cpu_gpu_bulk.cpp.o"
+  "CMakeFiles/advect_impl.dir/cpu_gpu_bulk.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/cpu_gpu_overlap.cpp.o"
+  "CMakeFiles/advect_impl.dir/cpu_gpu_overlap.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/cpu_kernels.cpp.o"
+  "CMakeFiles/advect_impl.dir/cpu_kernels.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/device_field.cpp.o"
+  "CMakeFiles/advect_impl.dir/device_field.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/exchange.cpp.o"
+  "CMakeFiles/advect_impl.dir/exchange.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/gpu_mpi_bulk.cpp.o"
+  "CMakeFiles/advect_impl.dir/gpu_mpi_bulk.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/gpu_mpi_streams.cpp.o"
+  "CMakeFiles/advect_impl.dir/gpu_mpi_streams.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/gpu_resident.cpp.o"
+  "CMakeFiles/advect_impl.dir/gpu_resident.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/gpu_task.cpp.o"
+  "CMakeFiles/advect_impl.dir/gpu_task.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/mpi_bulk.cpp.o"
+  "CMakeFiles/advect_impl.dir/mpi_bulk.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/mpi_nonblocking.cpp.o"
+  "CMakeFiles/advect_impl.dir/mpi_nonblocking.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/mpi_thread_overlap.cpp.o"
+  "CMakeFiles/advect_impl.dir/mpi_thread_overlap.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/registry.cpp.o"
+  "CMakeFiles/advect_impl.dir/registry.cpp.o.d"
+  "CMakeFiles/advect_impl.dir/single_task.cpp.o"
+  "CMakeFiles/advect_impl.dir/single_task.cpp.o.d"
+  "libadvect_impl.a"
+  "libadvect_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

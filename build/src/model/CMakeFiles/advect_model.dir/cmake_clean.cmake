@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_model.dir/cpu_cost.cpp.o"
+  "CMakeFiles/advect_model.dir/cpu_cost.cpp.o.d"
+  "CMakeFiles/advect_model.dir/gpu_cost.cpp.o"
+  "CMakeFiles/advect_model.dir/gpu_cost.cpp.o.d"
+  "CMakeFiles/advect_model.dir/machine.cpp.o"
+  "CMakeFiles/advect_model.dir/machine.cpp.o.d"
+  "libadvect_model.a"
+  "libadvect_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_msg.dir/comm.cpp.o"
+  "CMakeFiles/advect_msg.dir/comm.cpp.o.d"
+  "CMakeFiles/advect_msg.dir/mailbox.cpp.o"
+  "CMakeFiles/advect_msg.dir/mailbox.cpp.o.d"
+  "CMakeFiles/advect_msg.dir/request.cpp.o"
+  "CMakeFiles/advect_msg.dir/request.cpp.o.d"
+  "libadvect_msg.a"
+  "libadvect_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

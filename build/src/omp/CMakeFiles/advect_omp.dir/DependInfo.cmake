@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omp/parallel_for.cpp" "src/omp/CMakeFiles/advect_omp.dir/parallel_for.cpp.o" "gcc" "src/omp/CMakeFiles/advect_omp.dir/parallel_for.cpp.o.d"
+  "/root/repo/src/omp/schedule.cpp" "src/omp/CMakeFiles/advect_omp.dir/schedule.cpp.o" "gcc" "src/omp/CMakeFiles/advect_omp.dir/schedule.cpp.o.d"
+  "/root/repo/src/omp/thread_team.cpp" "src/omp/CMakeFiles/advect_omp.dir/thread_team.cpp.o" "gcc" "src/omp/CMakeFiles/advect_omp.dir/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

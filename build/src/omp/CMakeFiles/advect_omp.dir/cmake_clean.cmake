@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_omp.dir/parallel_for.cpp.o"
+  "CMakeFiles/advect_omp.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/advect_omp.dir/schedule.cpp.o"
+  "CMakeFiles/advect_omp.dir/schedule.cpp.o.d"
+  "CMakeFiles/advect_omp.dir/thread_team.cpp.o"
+  "CMakeFiles/advect_omp.dir/thread_team.cpp.o.d"
+  "libadvect_omp.a"
+  "libadvect_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

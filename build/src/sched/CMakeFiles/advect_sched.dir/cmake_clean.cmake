@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_sched.dir/node_model.cpp.o"
+  "CMakeFiles/advect_sched.dir/node_model.cpp.o.d"
+  "CMakeFiles/advect_sched.dir/report.cpp.o"
+  "CMakeFiles/advect_sched.dir/report.cpp.o.d"
+  "CMakeFiles/advect_sched.dir/sweeps.cpp.o"
+  "CMakeFiles/advect_sched.dir/sweeps.cpp.o.d"
+  "libadvect_sched.a"
+  "libadvect_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

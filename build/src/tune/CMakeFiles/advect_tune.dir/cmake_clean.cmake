@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advect_tune.dir/tuner.cpp.o"
+  "CMakeFiles/advect_tune.dir/tuner.cpp.o.d"
+  "libadvect_tune.a"
+  "libadvect_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advect_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box_partition.dir/test_box_partition.cpp.o"
+  "CMakeFiles/test_box_partition.dir/test_box_partition.cpp.o.d"
+  "test_box_partition"
+  "test_box_partition.pdb"
+  "test_box_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

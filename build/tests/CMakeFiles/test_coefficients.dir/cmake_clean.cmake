@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coefficients.dir/test_coefficients.cpp.o"
+  "CMakeFiles/test_coefficients.dir/test_coefficients.cpp.o.d"
+  "test_coefficients"
+  "test_coefficients.pdb"
+  "test_coefficients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_field.dir/test_device_field.cpp.o"
+  "CMakeFiles/test_device_field.dir/test_device_field.cpp.o.d"
+  "test_device_field"
+  "test_device_field.pdb"
+  "test_device_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_exchange.cpp" "tests/CMakeFiles/test_exchange.dir/test_exchange.cpp.o" "gcc" "tests/CMakeFiles/test_exchange.dir/test_exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impl/CMakeFiles/advect_impl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/advect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/advect_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/advect_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/advect_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

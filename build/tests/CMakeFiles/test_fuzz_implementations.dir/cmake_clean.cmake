@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_implementations.dir/test_fuzz_implementations.cpp.o"
+  "CMakeFiles/test_fuzz_implementations.dir/test_fuzz_implementations.cpp.o.d"
+  "test_fuzz_implementations"
+  "test_fuzz_implementations.pdb"
+  "test_fuzz_implementations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_implementations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_streams.dir/test_gpu_streams.cpp.o"
+  "CMakeFiles/test_gpu_streams.dir/test_gpu_streams.cpp.o.d"
+  "test_gpu_streams"
+  "test_gpu_streams.pdb"
+  "test_gpu_streams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg_concurrent.dir/test_msg_concurrent.cpp.o"
+  "CMakeFiles/test_msg_concurrent.dir/test_msg_concurrent.cpp.o.d"
+  "test_msg_concurrent"
+  "test_msg_concurrent.pdb"
+  "test_msg_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rows_properties.dir/test_rows_properties.cpp.o"
+  "CMakeFiles/test_rows_properties.dir/test_rows_properties.cpp.o.d"
+  "test_rows_properties"
+  "test_rows_properties.pdb"
+  "test_rows_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rows_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

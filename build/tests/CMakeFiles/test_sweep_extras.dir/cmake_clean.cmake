@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_extras.dir/test_sweep_extras.cpp.o"
+  "CMakeFiles/test_sweep_extras.dir/test_sweep_extras.cpp.o.d"
+  "test_sweep_extras"
+  "test_sweep_extras.pdb"
+  "test_sweep_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

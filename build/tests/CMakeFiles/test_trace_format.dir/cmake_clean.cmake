@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_format.dir/test_trace_format.cpp.o"
+  "CMakeFiles/test_trace_format.dir/test_trace_format.cpp.o.d"
+  "test_trace_format"
+  "test_trace_format.pdb"
+  "test_trace_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_coefficients[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_halo[1]_include.cmake")
+include("/root/repo/build/tests/test_box_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_initial[1]_include.cmake")
+include("/root/repo/build/tests/test_rows_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_omp[1]_include.cmake")
+include("/root/repo/build/tests/test_msg[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_des[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_device_field[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_implementations[1]_include.cmake")
+include("/root/repo/build/tests/test_tune[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_implementations[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_format[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_streams[1]_include.cmake")
+include("/root/repo/build/tests/test_msg_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep_extras[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advectctl.dir/advectctl.cpp.o"
+  "CMakeFiles/advectctl.dir/advectctl.cpp.o.d"
+  "advectctl"
+  "advectctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advectctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ctl_impls "/root/repo/build/tools/advectctl" "impls")
+set_tests_properties(ctl_impls PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_machines "/root/repo/build/tools/advectctl" "machines")
+set_tests_properties(ctl_machines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_solve "/root/repo/build/tools/advectctl" "solve" "cpu_gpu_overlap" "14" "3" "2" "2")
+set_tests_properties(ctl_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_model "/root/repo/build/tools/advectctl" "model" "yona" "gpu_mpi_streams" "1" "12")
+set_tests_properties(ctl_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_tune "/root/repo/build/tools/advectctl" "tune" "yona" "2")
+set_tests_properties(ctl_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_scaling "/root/repo/build/tools/advectctl" "scaling" "jaguarpf" "mpi_bulk")
+set_tests_properties(ctl_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_bad_args "/root/repo/build/tools/advectctl")
+set_tests_properties(ctl_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctl_gantt "/root/repo/build/tools/advectctl" "gantt" "yona" "gpu_mpi_streams" "1" "12")
+set_tests_properties(ctl_gantt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
