@@ -11,6 +11,7 @@
 #include "core/problem.hpp"
 #include "core/rows.hpp"
 #include "core/stencil.hpp"
+#include "impl/cpu_kernels.hpp"
 #include "impl/device_field.hpp"
 #include "impl/exchange.hpp"
 #include "omp/parallel_for.hpp"
@@ -42,6 +43,39 @@ void BM_StencilSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_StencilSweep)->Arg(24)->Arg(48)->Arg(64);
 
+void BM_StencilRows(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    core::Field3 cur({n, n, n}, 1.0);
+    core::Field3 nxt({n, n, n});
+    const auto a = core::tensor_product_coeffs({1, 1, 1}, 1.0);
+    core::fill_periodic_halo(cur);
+    const core::RowSpace rows({cur.interior()});
+    for (auto _ : state) {
+        core::apply_stencil_rows(a, cur, nxt, rows, 0, rows.size());
+        benchmark::DoNotOptimize(nxt.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_StencilRows)->Arg(48)->Arg(64);
+
+void BM_CopyRows(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    core::Field3 src({n, n, n}, 1.0);
+    core::Field3 dst({n, n, n});
+    const core::RowSpace rows({src.interior()});
+    for (auto _ : state) {
+        core::copy_rows(src, dst, rows, 0, rows.size());
+        benchmark::DoNotOptimize(dst.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n * n);
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n * n *
+                            static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_CopyRows)->Arg(48)->Arg(64);
+
 void BM_PeriodicHaloFill(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
     core::Field3 f({n, n, n}, 1.0);
@@ -51,6 +85,17 @@ void BM_PeriodicHaloFill(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PeriodicHaloFill)->Arg(48);
+
+void BM_HaloFillParallel(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    omp::ThreadTeam team(1);
+    core::Field3 f({n, n, n}, 1.0);
+    for (auto _ : state) {
+        impl::halo_fill_parallel(team, f);
+        benchmark::DoNotOptimize(f.raw().data());
+    }
+}
+BENCHMARK(BM_HaloFillParallel)->Arg(48)->Arg(96);
 
 void BM_PackUnpackFace(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));

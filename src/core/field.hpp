@@ -59,6 +59,22 @@ class Field3 {
     [[nodiscard]] std::span<double> raw() { return data_; }
     [[nodiscard]] std::span<const double> raw() const { return data_; }
 
+    /// Padded strides of the storage layout, in doubles: consecutive j rows
+    /// are x_stride() apart, consecutive k planes xy_stride() apart.
+    [[nodiscard]] std::ptrdiff_t x_stride() const { return sx_; }
+    [[nodiscard]] std::ptrdiff_t xy_stride() const {
+        return static_cast<std::ptrdiff_t>(sxy_);
+    }
+
+    /// Pointer to point (i, j, k); like operator(), halo indices -1 and n are
+    /// valid. The x-row starting here is contiguous.
+    [[nodiscard]] double* ptr(int i, int j, int k) {
+        return data_.data() + offset(i, j, k);
+    }
+    [[nodiscard]] const double* ptr(int i, int j, int k) const {
+        return data_.data() + offset(i, j, k);
+    }
+
     /// Half-open range covering the interior.
     [[nodiscard]] Range3 interior() const {
         return {{0, 0, 0}, {n_.nx, n_.ny, n_.nz}};

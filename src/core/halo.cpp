@@ -1,6 +1,7 @@
 #include "core/halo.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace advect::core {
 namespace {
@@ -57,13 +58,43 @@ HaloPlan HaloPlan::make(Extents3 n) {
     return p;
 }
 
+namespace {
+
+/// True when `region` spans the full padded xy extent of `f`, i.e. each of
+/// its k planes is one contiguous block of xy_stride() doubles.
+bool spans_padded_plane(const Field3& f, const Range3& region) {
+    const auto n = f.extents();
+    return region.lo.i == -1 && region.hi.i == n.nx + 1 && region.lo.j == -1 &&
+           region.hi.j == n.ny + 1;
+}
+
+}  // namespace
+
 void pack(const Field3& f, const Range3& region, std::span<double> out) {
     assert(out.size() >= region.volume());
-    std::size_t idx = 0;
+    if (region.empty()) return;
+    double* dst = out.data();
+    // Rows are x-contiguous in storage, so pack is a memcpy per (j, k) row —
+    // and when the region covers the full padded xy extent (the z faces of
+    // the serialized exchange), a single memcpy per k plane.
+    if (spans_padded_plane(f, region)) {
+        const std::size_t plane = static_cast<std::size_t>(f.xy_stride());
+        for (int k = region.lo.k; k < region.hi.k; ++k, dst += plane)
+            std::memcpy(dst, f.ptr(-1, -1, k), plane * sizeof(double));
+        return;
+    }
+    const std::size_t row = static_cast<std::size_t>(region.hi.i - region.lo.i);
+    if (row == 1) {
+        // x faces: one point per row; a strided scalar loop beats a memcpy
+        // call per element.
+        for (int k = region.lo.k; k < region.hi.k; ++k)
+            for (int j = region.lo.j; j < region.hi.j; ++j)
+                *dst++ = f(region.lo.i, j, k);
+        return;
+    }
     for (int k = region.lo.k; k < region.hi.k; ++k)
-        for (int j = region.lo.j; j < region.hi.j; ++j)
-            for (int i = region.lo.i; i < region.hi.i; ++i)
-                out[idx++] = f(i, j, k);
+        for (int j = region.lo.j; j < region.hi.j; ++j, dst += row)
+            std::memcpy(dst, f.ptr(region.lo.i, j, k), row * sizeof(double));
 }
 
 std::vector<double> pack(const Field3& f, const Range3& region) {
@@ -74,11 +105,24 @@ std::vector<double> pack(const Field3& f, const Range3& region) {
 
 void unpack(Field3& f, const Range3& region, std::span<const double> in) {
     assert(in.size() >= region.volume());
-    std::size_t idx = 0;
+    if (region.empty()) return;
+    const double* src = in.data();
+    if (spans_padded_plane(f, region)) {
+        const std::size_t plane = static_cast<std::size_t>(f.xy_stride());
+        for (int k = region.lo.k; k < region.hi.k; ++k, src += plane)
+            std::memcpy(f.ptr(-1, -1, k), src, plane * sizeof(double));
+        return;
+    }
+    const std::size_t row = static_cast<std::size_t>(region.hi.i - region.lo.i);
+    if (row == 1) {
+        for (int k = region.lo.k; k < region.hi.k; ++k)
+            for (int j = region.lo.j; j < region.hi.j; ++j)
+                f(region.lo.i, j, k) = *src++;
+        return;
+    }
     for (int k = region.lo.k; k < region.hi.k; ++k)
-        for (int j = region.lo.j; j < region.hi.j; ++j)
-            for (int i = region.lo.i; i < region.hi.i; ++i)
-                f(i, j, k) = in[idx++];
+        for (int j = region.lo.j; j < region.hi.j; ++j, src += row)
+            std::memcpy(f.ptr(region.lo.i, j, k), src, row * sizeof(double));
 }
 
 void fill_periodic_halo_dim(Field3& f, int dim) {

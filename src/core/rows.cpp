@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "core/stencil.hpp"
 
@@ -23,12 +24,24 @@ std::size_t RowSpace::points() const {
     return p;
 }
 
+std::size_t RowSpace::region_of(std::int64_t flat) const {
+    // Consecutive lookups almost always hit the same region (scheduler
+    // chunks walk rows in order), so try the cached index before falling
+    // back to binary search. Relaxed atomics: the cache is a hint; any
+    // stale value is detected by the range check and merely costs a search.
+    std::size_t ri = last_region_.load(std::memory_order_relaxed);
+    if (ri + 1 >= prefix_.size() || flat < prefix_[ri] ||
+        flat >= prefix_[ri + 1]) {
+        const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), flat);
+        ri = static_cast<std::size_t>(it - prefix_.begin() - 1);
+        last_region_.store(ri, std::memory_order_relaxed);
+    }
+    return ri;
+}
+
 RowSpace::Row RowSpace::row(std::int64_t flat) const {
     assert(flat >= 0 && flat < total_);
-    // Find the region containing this flat row (regions lists are short; a
-    // linear scan beats binary search in practice, but upper_bound is O(log)).
-    const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), flat);
-    const auto ri = static_cast<std::size_t>(it - prefix_.begin() - 1);
+    const std::size_t ri = region_of(flat);
     const auto& r = regions_[ri];
     const std::int64_t local = flat - prefix_[ri];
     const int ny = r.hi.j - r.lo.j;
@@ -39,19 +52,19 @@ RowSpace::Row RowSpace::row(std::int64_t flat) const {
 void apply_stencil_rows(const StencilCoeffs& a, const Field3& in, Field3& out,
                         const RowSpace& rows, std::int64_t lo,
                         std::int64_t hi) {
-    for (std::int64_t f = lo; f < hi; ++f) {
-        const auto r = rows.row(f);
-        for (int i = r.xlo; i < r.xhi; ++i)
-            out(i, r.j, r.k) = stencil_point(a, in, i, r.j, r.k);
-    }
+    const StencilPlan plan = StencilPlan::make(a, in);
+    rows.for_each_row(lo, hi, [&](const RowSpace::Row& r) {
+        apply_stencil_row_ptr(plan, in.ptr(r.xlo, r.j, r.k),
+                              out.ptr(r.xlo, r.j, r.k), r.xhi - r.xlo);
+    });
 }
 
 void copy_rows(const Field3& src, Field3& dst, const RowSpace& rows,
                std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t f = lo; f < hi; ++f) {
-        const auto r = rows.row(f);
-        for (int i = r.xlo; i < r.xhi; ++i) dst(i, r.j, r.k) = src(i, r.j, r.k);
-    }
+    rows.for_each_row(lo, hi, [&](const RowSpace::Row& r) {
+        std::memcpy(dst.ptr(r.xlo, r.j, r.k), src.ptr(r.xlo, r.j, r.k),
+                    static_cast<std::size_t>(r.xhi - r.xlo) * sizeof(double));
+    });
 }
 
 }  // namespace advect::core

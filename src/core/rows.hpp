@@ -7,6 +7,7 @@
 /// interior, boundary slabs, CPU box walls, ...) so that every
 /// implementation schedules work over x-contiguous rows.
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,27 @@ class RowSpace {
     RowSpace() = default;
     explicit RowSpace(std::vector<Range3> regions);
 
+    // The cached region index is a performance hint, not state: copies and
+    // moves transfer only the regions and prefix sums.
+    RowSpace(const RowSpace& o)
+        : regions_(o.regions_), prefix_(o.prefix_), total_(o.total_) {}
+    RowSpace(RowSpace&& o) noexcept
+        : regions_(std::move(o.regions_)),
+          prefix_(std::move(o.prefix_)),
+          total_(o.total_) {}
+    RowSpace& operator=(const RowSpace& o) {
+        regions_ = o.regions_;
+        prefix_ = o.prefix_;
+        total_ = o.total_;
+        return *this;
+    }
+    RowSpace& operator=(RowSpace&& o) noexcept {
+        regions_ = std::move(o.regions_);
+        prefix_ = std::move(o.prefix_);
+        total_ = o.total_;
+        return *this;
+    }
+
     /// Total number of rows across all regions.
     [[nodiscard]] std::int64_t size() const { return total_; }
     /// Total number of points across all regions.
@@ -33,21 +55,58 @@ class RowSpace {
     /// Decode a flat row index (0 <= flat < size()).
     [[nodiscard]] Row row(std::int64_t flat) const;
 
+    /// Visit rows [lo, hi) in flat order: fn(const Row&). Walks each region's
+    /// rows directly — one region lookup per *range*, not per row — so hot
+    /// loops (stencil, copy, pack) pay no per-row search at all.
+    template <class Fn>
+    void for_each_row(std::int64_t lo, std::int64_t hi, Fn&& fn) const {
+        if (lo < 0) lo = 0;
+        if (hi > total_) hi = total_;
+        if (lo >= hi) return;
+        std::size_t ri = region_of(lo);
+        std::int64_t f = lo;
+        while (f < hi) {
+            const Range3& r = regions_[ri];
+            const std::int64_t local = f - prefix_[ri];
+            const int ny = r.hi.j - r.lo.j;
+            int j = r.lo.j + static_cast<int>(local % ny);
+            int k = r.lo.k + static_cast<int>(local / ny);
+            const std::int64_t stop = hi < prefix_[ri + 1] ? hi
+                                                           : prefix_[ri + 1];
+            for (; f < stop; ++f) {
+                fn(Row{r.lo.i, r.hi.i, j, k});
+                if (++j == r.hi.j) {
+                    j = r.lo.j;
+                    ++k;
+                }
+            }
+            ++ri;
+        }
+    }
+
     [[nodiscard]] std::span<const Range3> regions() const { return regions_; }
 
   private:
+    /// Index of the region containing flat row `flat`, with a relaxed cache
+    /// of the last hit (scheduler chunks walk rows in order, so repeated
+    /// lookups almost always land in the same region).
+    [[nodiscard]] std::size_t region_of(std::int64_t flat) const;
+
     std::vector<Range3> regions_;
     std::vector<std::int64_t> prefix_;  // prefix row counts per region
     std::int64_t total_ = 0;
+    mutable std::atomic<std::size_t> last_region_{0};
 };
 
 /// Apply the stencil to rows [lo, hi) of `rows`: the unit of work handed to
-/// one scheduler chunk in the OpenMP-style implementations.
+/// one scheduler chunk in the OpenMP-style implementations. Uses the
+/// StencilPlan fast path; bitwise-identical to the stencil_point reference.
 void apply_stencil_rows(const StencilCoeffs& a, const Field3& in, Field3& out,
                         const RowSpace& rows, std::int64_t lo, std::int64_t hi);
 
 /// Copy rows [lo, hi) from `src` to `dst` (the paper's Step 3, "copy the new
-/// state to the current state").
+/// state to the current state"). Rows are x-contiguous, so this is one
+/// memcpy per row.
 void copy_rows(const Field3& src, Field3& dst, const RowSpace& rows,
                std::int64_t lo, std::int64_t hi);
 

@@ -14,6 +14,61 @@ double stencil_point(const StencilCoeffs& a, const Field3& in, int i, int j,
     return s;
 }
 
+StencilPlan StencilPlan::make(const StencilCoeffs& a, std::ptrdiff_t x_stride,
+                              std::ptrdiff_t xy_stride) {
+    StencilPlan p;
+    // StencilCoeffs::index(di, dj, dk) flattens di fastest, dk slowest —
+    // the same order as the reference summation — so the coefficient array
+    // is already in plan order.
+    p.coeff = a.a;
+    std::size_t t = 0;
+    for (int dk = -1; dk <= 1; ++dk)
+        for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di, ++t) {
+                assert(static_cast<int>(t) == StencilCoeffs::index(di, dj, dk));
+                p.offset[t] = di + dj * x_stride + dk * xy_stride;
+            }
+    return p;
+}
+
+StencilPlan StencilPlan::make(const StencilCoeffs& a, const Field3& shape) {
+    return make(a, shape.x_stride(), shape.xy_stride());
+}
+
+namespace detail {
+
+// Portable baseline build of the shared kernel body; see
+// stencil_row_kernel.inc for the blocking scheme and the bitwise argument.
+#define ADVECT_ROW_KERNEL_NAME apply_stencil_row_portable
+#include "core/stencil_row_kernel.inc"
+#undef ADVECT_ROW_KERNEL_NAME
+
+#ifdef ADVECT_HAVE_ROW_KERNEL_V3
+// AVX2 build of the same body, from stencil_row_v3.cpp.
+void apply_stencil_row_v3(const StencilPlan& plan, const double* __restrict__,
+                          double* __restrict__, int n);
+#endif
+
+using RowKernelFn = void (*)(const StencilPlan&, const double* __restrict__,
+                             double* __restrict__, int);
+
+RowKernelFn resolve_row_kernel() {
+#ifdef ADVECT_HAVE_ROW_KERNEL_V3
+    if (__builtin_cpu_supports("avx2")) return apply_stencil_row_v3;
+#endif
+    return apply_stencil_row_portable;
+}
+
+// Resolved once at load time; dispatch cost is one indirect call per row.
+const RowKernelFn row_kernel = resolve_row_kernel();
+
+}  // namespace detail
+
+void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,
+                           double* out, int n) {
+    detail::row_kernel(plan, in, out, n);
+}
+
 void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
                    const Range3& r) {
     assert(in.extents() == out.extents());
@@ -22,10 +77,13 @@ void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
     assert(r.lo.j >= 0 && r.hi.j <= n.ny);
     assert(r.lo.k >= 0 && r.hi.k <= n.nz);
     (void)n;
+    if (r.empty()) return;
+    const StencilPlan plan = StencilPlan::make(a, in);
+    const int row = r.hi.i - r.lo.i;
     for (int k = r.lo.k; k < r.hi.k; ++k)
         for (int j = r.lo.j; j < r.hi.j; ++j)
-            for (int i = r.lo.i; i < r.hi.i; ++i)
-                out(i, j, k) = stencil_point(a, in, i, j, k);
+            apply_stencil_row_ptr(plan, in.ptr(r.lo.i, j, k),
+                                  out.ptr(r.lo.i, j, k), row);
 }
 
 void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out) {

@@ -21,10 +21,39 @@ void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
 /// Convenience: apply over the whole interior.
 void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out);
 
-/// Single-point update, shared by the region kernel and the simulated-GPU
-/// kernels so that arithmetic order is identical on "CPU" and "GPU".
+/// Single-point update: the *reference* arithmetic every fast path must
+/// bitwise-match (dk outer, dj middle, di inner, accumulated into 0.0).
 [[nodiscard]] double stencil_point(const StencilCoeffs& a, const Field3& in,
                                    int i, int j, int k);
+
+/// Precomputed fast path for the 27-point kernel on a fixed storage layout:
+/// the 27 linear offsets of the neighbourhood, each paired with its
+/// coefficient, stored in the exact summation order of `stencil_point`
+/// (dk outer, dj middle, di inner — which is also the `StencilCoeffs::index`
+/// flattening). Build once per field shape; the raw-pointer row kernel then
+/// runs with no per-access index arithmetic.
+struct StencilPlan {
+    std::array<double, 27> coeff{};
+    std::array<std::ptrdiff_t, 27> offset{};
+
+    /// Plan for a layout with the given strides (in doubles): consecutive
+    /// j rows `x_stride` apart, consecutive k planes `xy_stride` apart.
+    [[nodiscard]] static StencilPlan make(const StencilCoeffs& a,
+                                          std::ptrdiff_t x_stride,
+                                          std::ptrdiff_t xy_stride);
+    /// Plan for the padded layout of `shape`.
+    [[nodiscard]] static StencilPlan make(const StencilCoeffs& a,
+                                          const Field3& shape);
+};
+
+/// Apply the planned stencil to one x-contiguous row of `n` points: for each
+/// x in [0, n), out[x] = sum_t coeff[t] * in[x + offset[t]] accumulated in
+/// plan order starting from 0.0 — bitwise-identical to `stencil_point`.
+/// `in` points at the *centre* of the first point's neighbourhood. The rows
+/// must not overlap (in practice `in` and `out` are distinct fields, or a
+/// shared-memory tile and global memory on the simulated GPU).
+void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,
+                           double* out, int n);
 
 /// Partition of a local domain into boundary shell and interior used by the
 /// overlap implementations (paper §IV-C, §IV-D): boundary points are those

@@ -1,0 +1,16 @@
+/// \file stencil_row_v3.cpp
+/// x86-64-v3 (AVX2) build of the planned row kernel. This file is compiled
+/// with -march=x86-64-v3 (see src/core/CMakeLists.txt) and selected at load
+/// time when the host supports it; the portable baseline lives in
+/// stencil.cpp. Same source body, same operation order, so results are
+/// bitwise-identical to the reference — only the vector width differs.
+
+#include "core/stencil.hpp"
+
+namespace advect::core::detail {
+
+#define ADVECT_ROW_KERNEL_NAME apply_stencil_row_v3
+#include "core/stencil_row_kernel.inc"
+#undef ADVECT_ROW_KERNEL_NAME
+
+}  // namespace advect::core::detail

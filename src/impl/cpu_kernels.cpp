@@ -1,6 +1,7 @@
 #include "impl/cpu_kernels.hpp"
 
 #include <chrono>
+#include <cstring>
 
 #include "core/halo.hpp"
 
@@ -27,22 +28,28 @@ void halo_fill_parallel(omp::ThreadTeam& team, core::Field3& f) {
             static_cast<std::int64_t>(hi_ext.ny) * hi_ext.nz;
         // Offset from a halo point to its periodic source along dim d.
         const int n_d = f.extents()[d];
-        auto copy_rows_of = [&f, d, n_d](const core::Range3& dst_region,
-                                         int shift, std::int64_t lo,
-                                         std::int64_t hi) {
+        auto copy_rows_of = [&f, d](const core::Range3& dst_region, int shift,
+                                    std::int64_t lo, std::int64_t hi) {
             const auto ext = dst_region.extents();
+            const std::size_t row_bytes =
+                static_cast<std::size_t>(ext.nx) * sizeof(double);
             for (std::int64_t r = lo; r < hi; ++r) {
                 const int j = dst_region.lo.j + static_cast<int>(r % ext.ny);
                 const int k = dst_region.lo.k + static_cast<int>(r / ext.ny);
-                for (int i = dst_region.lo.i; i < dst_region.hi.i; ++i) {
-                    int si = i, sj = j, sk = k;
-                    if (d == 0) si += shift;
-                    else if (d == 1) sj += shift;
-                    else sk += shift;
-                    f(i, j, k) = f(si, sj, sk);
+                if (d == 0) {
+                    // x faces are one point per row, shifted along the
+                    // contiguous dimension.
+                    f(dst_region.lo.i, j, k) =
+                        f(dst_region.lo.i + shift, j, k);
+                } else {
+                    // y/z faces shift in j or k only, so source and
+                    // destination rows are both x-contiguous: one memcpy.
+                    const int sj = d == 1 ? j + shift : j;
+                    const int sk = d == 2 ? k + shift : k;
+                    std::memcpy(f.ptr(dst_region.lo.i, j, k),
+                                f.ptr(dst_region.lo.i, sj, sk), row_bytes);
                 }
             }
-            (void)n_d;
         };
         omp::parallel_for(
             team, 0, rows_lo + rows_hi, omp::Schedule::Static,

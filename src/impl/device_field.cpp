@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/halo.hpp"
+#include "core/stencil.hpp"
 
 namespace advect::impl {
 
@@ -63,24 +64,26 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
         load_plane(tile[1], lo.k);
         for (int k = lo.k; k < hi.k; ++k) {
             load_plane(tile[2], k + 1);
-            for (int ly = 0; ly < cy; ++ly)
-                for (int lx = 0; lx < cx; ++lx) {
-                    // Same summation order as core::stencil_point: dk outer,
-                    // di inner, so results are bitwise identical to the CPU.
-                    double s = 0.0;
-                    for (int dk = -1; dk <= 1; ++dk) {
-                        const double* t = tile[dk + 1];
-                        for (int dj = -1; dj <= 1; ++dj)
-                            for (int di = -1; di <= 1; ++di)
-                                s += consts[static_cast<std::size_t>(
-                                         core::StencilCoeffs::index(di, dj,
-                                                                    dk))] *
-                                     t[static_cast<std::size_t>(ly + 1 + dj) *
-                                           tx +
-                                       (lx + 1 + di)];
-                    }
-                    dst[in_layout.offset(x0 + lx, y0 + ly, k)] = s;
-                }
+            // Rebuild the plan for the current plane rotation: dk offsets
+            // are the pointer distances between the shared-memory planes
+            // (all within one shared allocation), dj/di use tile strides.
+            // The row kernel is the *same code* as the CPU fast path, so
+            // results are bitwise identical to core::stencil_point.
+            core::StencilPlan plan;
+            std::copy_n(consts.begin(), 27, plan.coeff.begin());
+            std::size_t t = 0;
+            for (int dk = -1; dk <= 1; ++dk) {
+                const std::ptrdiff_t dplane = tile[dk + 1] - tile[1];
+                for (int dj = -1; dj <= 1; ++dj)
+                    for (int di = -1; di <= 1; ++di, ++t)
+                        plan.offset[t] = dplane + dj * tx + di;
+            }
+            for (int ly = 0; ly < cy; ++ly) {
+                const double* in_row =
+                    tile[1] + static_cast<std::size_t>(ly + 1) * tx + 1;
+                double* out_row = dst.data() + in_layout.offset(x0, y0 + ly, k);
+                core::apply_stencil_row_ptr(plan, in_row, out_row, cx);
+            }
             std::rotate(&tile[0], &tile[1], &tile[3]);  // z planes advance
         }
     });

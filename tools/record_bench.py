@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Run bench_kernels and append the results to BENCH_kernels.json.
+
+The repo-root BENCH_kernels.json holds the performance trajectory of the
+functional substrate across PRs: one entry per recorded run, each with the
+google-benchmark numbers for the tracked kernel series. Subsequent PRs append
+entries (label them after the change) so regressions are visible in the diff.
+
+Usage:
+    tools/record_bench.py --binary build/bench/bench_kernels \
+        --label pr1-fastpath [--note "..."] [--out BENCH_kernels.json]
+
+Stdlib only; requires the bench binary to be built first (CMake target
+`bench_record` does both).
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+
+# The regression-tracked series (benchmark name prefixes).
+TRACKED = (
+    "BM_StencilSweep",
+    "BM_StencilRows",
+    "BM_CopyRows",
+    "BM_PeriodicHaloFill",
+    "BM_HaloFillParallel",
+    "BM_PackUnpackFace",
+    "BM_RowSpaceDecode",
+    "BM_SimulatedGpuStencil",
+)
+
+
+def run_bench(binary: str) -> dict:
+    out = subprocess.run(
+        [binary, "--benchmark_filter=" + "|".join(TRACKED),
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def extract(report: dict) -> dict:
+    series = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        entry = {"cpu_ns": round(b["cpu_time"], 1)}
+        if "items_per_second" in b:
+            entry["items_per_second"] = round(b["items_per_second"])
+        series[b["name"]] = entry
+    return series
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="bench_kernels executable")
+    ap.add_argument("--label", required=True,
+                    help="entry label, e.g. 'seed' or 'pr1-fastpath'")
+    ap.add_argument("--note", default="", help="free-form context for the run")
+    ap.add_argument("--out", default=None,
+                    help="trajectory file (default: BENCH_kernels.json next "
+                         "to this script's repo root)")
+    args = ap.parse_args()
+
+    out_path = pathlib.Path(args.out) if args.out else (
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json")
+
+    report = run_bench(args.binary)
+    ctx = report.get("context", {})
+    entry = {
+        "label": args.label,
+        "date": datetime.date.today().isoformat(),
+        "host": platform.node(),
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "benchmarks": extract(report),
+    }
+    if args.note:
+        entry["note"] = args.note
+
+    doc = {"description": "Performance trajectory of bench_kernels; see "
+                          "docs/PERF.md. Entries are appended per PR by "
+                          "tools/record_bench.py.",
+           "entries": []}
+    if out_path.exists():
+        doc = json.loads(out_path.read_text())
+    doc["entries"] = [e for e in doc["entries"] if e["label"] != args.label]
+    doc["entries"].append(entry)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"recorded '{args.label}' -> {out_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
