@@ -62,6 +62,10 @@ RowKernelFn resolve_row_kernel() {
 // Resolved once at load time; dispatch cost is one indirect call per row.
 const RowKernelFn row_kernel = resolve_row_kernel();
 
+bool row_kernel_is_vectorized() {
+    return row_kernel != static_cast<RowKernelFn>(apply_stencil_row_portable);
+}
+
 }  // namespace detail
 
 void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,

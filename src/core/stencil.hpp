@@ -55,6 +55,22 @@ struct StencilPlan {
 void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,
                            double* out, int n);
 
+namespace detail {
+
+/// Portable baseline build of the row kernel — always available, and the
+/// bitwise reference the vector clone must match (see stencil_row_v3.cpp).
+/// Exposed so tests can pit it against the dispatched fast path.
+void apply_stencil_row_portable(const StencilPlan& plan,
+                                const double* __restrict__ in,
+                                double* __restrict__ out, int n);
+
+/// True when apply_stencil_row_ptr dispatches to the AVX2 clone on this
+/// host (clone built in AND CPU supports it); false means the dispatched
+/// path *is* the portable baseline.
+[[nodiscard]] bool row_kernel_is_vectorized();
+
+}  // namespace detail
+
 /// Partition of a local domain into boundary shell and interior used by the
 /// overlap implementations (paper §IV-C, §IV-D): boundary points are those
 /// that touch halo points; interior points are the rest.

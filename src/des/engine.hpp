@@ -58,6 +58,14 @@ class Engine {
         return tasks_[static_cast<std::size_t>(t)].name;
     }
     [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+    /// Claims of one task (for exporters mapping tasks to resource lanes).
+    [[nodiscard]] const std::vector<Claim>& task_claims(TaskId t) const {
+        return tasks_[static_cast<std::size_t>(t)].claims;
+    }
+    /// Name a resource was registered under.
+    [[nodiscard]] const std::string& resource_name(ResourceId r) const {
+        return resources_[static_cast<std::size_t>(r)].name;
+    }
 
   private:
     struct Resource {

@@ -48,6 +48,7 @@ Stream Device::create_stream() {
     auto state = std::make_shared<detail::StreamState>();
     {
         std::lock_guard lock(mu_);
+        state->id = next_stream_id_++;
         streams_.push_back(state);
     }
     return Stream(this, std::move(state));
@@ -61,6 +62,7 @@ void Device::set_constants(std::span<const double> values) {
 }
 
 void Device::synchronize() {
+    trace::ScopedSpan span("device_sync", "gpu", trace::Lane::Host);
     std::unique_lock lock(mu_);
     idle_cv_.wait(lock, [this] { return idle_locked(); });
 }
@@ -101,7 +103,17 @@ void Device::executor_loop() {
             continue;
         }
         lock.unlock();
-        if (op.run) op.run();
+        if (op.run) {
+            if (op.trace_name && trace::enabled()) {
+                const double t0 = trace::now();
+                op.run();
+                trace::record(op.trace_name, "gpu", op.trace_lane, t0,
+                              trace::now(), op.trace_rank, /*thread=*/-1,
+                              op.trace_stream);
+            } else {
+                op.run();
+            }
+        }
         op.completion->complete();
         // Drop the op's captures (buffer references) before reporting idle,
         // so RAII memory accounting settles no later than synchronize().
@@ -118,6 +130,10 @@ void Stream::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
         throw std::out_of_range("gpu: h2d copy out of range");
     detail::Op op;
     op.completion = std::make_shared<detail::EventState>();
+    op.trace_name = "h2d";
+    op.trace_lane = trace::Lane::Pcie;
+    op.trace_rank = trace::current_rank();
+    op.trace_stream = state_->id;
     op.run = [storage = dst.data_, dst_offset, src] {
         std::copy(src.begin(), src.end(), storage->begin() +
                                               static_cast<std::ptrdiff_t>(dst_offset));
@@ -131,6 +147,10 @@ void Stream::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src,
         throw std::out_of_range("gpu: d2h copy out of range");
     detail::Op op;
     op.completion = std::make_shared<detail::EventState>();
+    op.trace_name = "d2h";
+    op.trace_lane = trace::Lane::Pcie;
+    op.trace_rank = trace::current_rank();
+    op.trace_stream = state_->id;
     op.run = [storage = src.data_, src_offset, dst] {
         std::copy(storage->begin() + static_cast<std::ptrdiff_t>(src_offset),
                   storage->begin() +
@@ -147,6 +167,10 @@ void Stream::memcpy_d2d(DeviceBuffer& dst, std::size_t dst_offset,
         throw std::out_of_range("gpu: d2d copy out of range");
     detail::Op op;
     op.completion = std::make_shared<detail::EventState>();
+    op.trace_name = "d2d";
+    op.trace_lane = trace::Lane::Pcie;
+    op.trace_rank = trace::current_rank();
+    op.trace_stream = state_->id;
     op.run = [d = dst.data_, s = src.data_, dst_offset, src_offset, count] {
         std::copy(s->begin() + static_cast<std::ptrdiff_t>(src_offset),
                   s->begin() + static_cast<std::ptrdiff_t>(src_offset + count),
@@ -163,6 +187,10 @@ void Stream::launch(Dim3 grid, Dim3 block, std::size_t shared_doubles,
     detail::Op op;
     op.completion = std::make_shared<detail::EventState>();
     op.is_kernel = true;
+    op.trace_name = "kernel";
+    op.trace_lane = trace::Lane::Gpu;
+    op.trace_rank = trace::current_rank();
+    op.trace_stream = state_->id;
     op.run = [grid, block, shared_doubles, body = std::move(body)] {
         std::vector<double> shared(shared_doubles);
         for (int bz = 0; bz < grid.z; ++bz)
@@ -192,6 +220,8 @@ void Stream::wait_event(const Event& e) {
 }
 
 void Stream::synchronize() {
+    trace::ScopedSpan span("stream_sync", "gpu", trace::Lane::Host,
+                           /*thread=*/-1, state_ ? state_->id : -1);
     // An event at the tail completes exactly when all prior work has.
     record_event().synchronize();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "gpu/types.hpp"
+#include "trace/span.hpp"
 
 namespace advect::gpu {
 
@@ -57,11 +58,19 @@ struct Op {
     std::shared_ptr<EventState> gate;          // run only after gate completes
     std::shared_ptr<EventState> completion;    // marked done after run
     bool is_kernel = false;
+    /// Trace context captured at enqueue time; the executor thread records a
+    /// span around run() under the enqueuer's rank. Null name = untraced
+    /// bookkeeping op (events, stream waits).
+    const char* trace_name = nullptr;
+    trace::Lane trace_lane = trace::Lane::Gpu;
+    int trace_rank = -1;
+    int trace_stream = -1;
 };
 
 struct StreamState {
     std::deque<Op> queue;  // guarded by the owning Device's mutex
     bool busy = false;     // an op from this stream is executing
+    int id = 0;            // creation index, for trace attribution
 };
 
 }  // namespace detail
@@ -74,7 +83,9 @@ class Event {
 
     /// Host-side blocking wait (cudaEventSynchronize).
     void synchronize() const {
-        if (state_) state_->wait();
+        if (!state_) return;
+        trace::ScopedSpan span("event_sync", "gpu", trace::Lane::Host);
+        state_->wait();
     }
     /// Nonblocking completion query (cudaEventQuery).
     [[nodiscard]] bool query() const { return !state_ || state_->is_done(); }
@@ -198,6 +209,7 @@ class Device {
     std::condition_variable work_cv_;   // executor wakes on new work
     std::condition_variable idle_cv_;   // host waits for drain
     std::vector<std::shared_ptr<detail::StreamState>> streams_;
+    int next_stream_id_ = 0;
     std::size_t allocated_ = 0;
     bool stop_ = false;
     std::jthread executor_;

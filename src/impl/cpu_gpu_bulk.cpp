@@ -18,6 +18,7 @@
 #include "impl/exchange.hpp"
 #include "impl/gpu_task.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -72,19 +73,29 @@ SolveResult solve_cpu_gpu_bulk(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
-            // Exchange inner halo and boundary buffers with the GPU...
-            staging.enqueue_d2h(stream, d_cur);
-            stream.synchronize();
-            staging.unpack_outbound(cur);      // block boundary -> host
-            staging.enqueue_h2d(stream, cur, d_cur);  // CPU shell -> GPU halo
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+            {
+                // Exchange inner halo and boundary buffers with the GPU...
+                trace::ScopedSpan span("stage", "impl", trace::Lane::Host);
+                staging.enqueue_d2h(stream, d_cur);
+                stream.synchronize();
+                staging.unpack_outbound(cur);  // block boundary -> host
+                staging.enqueue_h2d(stream, cur, d_cur);  // shell -> GPU halo
+            }
             // ...and outer halos and boundaries with other tasks through MPI.
             exchange.exchange_all(comm, cur, &team);
-            // GPU kernel for the inner block points (asynchronous)...
-            launch_stencil(stream, device, d_cur, d_nxt, box.gpu_block(),
-                           cfg.block_x, cfg.block_y);
-            // ...while the CPU computes the outer box points.
-            stencil_parallel(team, coeffs, cur, nxt, wall_rows);
-            copy_parallel(team, nxt, cur, wall_rows);  // Step 3 on the walls
+            {
+                // GPU kernel for the inner block points (asynchronous)...
+                trace::ScopedSpan span("launch", "impl", trace::Lane::Host);
+                launch_stencil(stream, device, d_cur, d_nxt, box.gpu_block(),
+                               cfg.block_x, cfg.block_y);
+            }
+            {
+                // ...while the CPU computes the outer box points.
+                trace::ScopedSpan span("walls", "impl", trace::Lane::Host);
+                stencil_parallel(team, coeffs, cur, nxt, wall_rows);
+                copy_parallel(team, nxt, cur, wall_rows);  // Step 3, walls
+            }
             stream.synchronize();
             d_cur.swap(d_nxt);
         }

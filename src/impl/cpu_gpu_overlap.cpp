@@ -23,6 +23,7 @@
 #include "impl/exchange.hpp"
 #include "impl/gpu_task.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -96,33 +97,53 @@ SolveResult solve_cpu_gpu_overlap(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
-            // Kernel for the GPU interior points first: it depends on no
-            // fresh data, so it overlaps everything below.
-            launch_stencil(interior_stream, device, d_cur, d_nxt,
-                           block_interior, cfg.block_x, cfg.block_y);
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+            {
+                // Kernel for the GPU interior points first: it depends on no
+                // fresh data, so it overlaps everything below.
+                trace::ScopedSpan span("launch_interior", "impl",
+                                       trace::Lane::Host);
+                launch_stencil(interior_stream, device, d_cur, d_nxt,
+                               block_interior, cfg.block_x, cfg.block_y);
+            }
             // Nonblocking MPI receives and asynchronous copies to the GPU,
             // then the GPU boundary kernels and asynchronous copies back.
             exchange.post_recvs(comm);
-            staging.enqueue_h2d(boundary_stream, cur, d_cur);
-            for (const auto& slab : block_shell)
-                launch_stencil(boundary_stream, device, d_cur, d_nxt, slab,
-                               cfg.block_x, cfg.block_y);
-            staging.enqueue_d2h(boundary_stream, d_nxt);
+            {
+                trace::ScopedSpan span("launch_boundary", "impl",
+                                       trace::Lane::Host);
+                staging.enqueue_h2d(boundary_stream, cur, d_cur);
+                for (const auto& slab : block_shell)
+                    launch_stencil(boundary_stream, device, d_cur, d_nxt,
+                                   slab, cfg.block_x, cfg.block_y);
+                staging.enqueue_d2h(boundary_stream, d_nxt);
+            }
             // Overlap each dimension's MPI with the interior and
             // inner-boundary points of that dimension's walls.
             for (int d = 0; d < 3; ++d) {
                 exchange.start_dim(comm, cur, d, &team);
-                stencil_parallel(team, coeffs, cur, nxt,
-                                 inner_rows[static_cast<std::size_t>(d)]);
+                {
+                    trace::ScopedSpan span("inner_walls", "impl",
+                                           trace::Lane::Host);
+                    stencil_parallel(team, coeffs, cur, nxt,
+                                     inner_rows[static_cast<std::size_t>(d)]);
+                }
                 exchange.finish_dim(cur, d, &team);
             }
-            // Finally the outer boundary points, then the wall copy-back.
-            stencil_parallel(team, coeffs, cur, nxt, outer_rows);
-            copy_parallel(team, nxt, cur, wall_rows);
+            {
+                // Finally the outer boundary points, then the wall copy-back.
+                trace::ScopedSpan span("outer_walls", "impl",
+                                       trace::Lane::Host);
+                stencil_parallel(team, coeffs, cur, nxt, outer_rows);
+                copy_parallel(team, nxt, cur, wall_rows);
+            }
             // Synchronize the CUDA streams and land the new block boundary.
             interior_stream.synchronize();
             boundary_stream.synchronize();
-            staging.unpack_outbound(cur);
+            {
+                trace::ScopedSpan span("unpack", "impl", trace::Lane::Host);
+                staging.unpack_outbound(cur);
+            }
             d_cur.swap(d_nxt);
         }
         comm.barrier();

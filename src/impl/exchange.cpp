@@ -1,6 +1,7 @@
 #include "impl/exchange.hpp"
 
 #include "omp/parallel_for.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -11,6 +12,10 @@ namespace omp = advect::omp;
 /// Message tag for (dim, travel direction): low-travelling messages carry a
 /// rank's low plane toward its low neighbour.
 int tag_of(int dim, int travel_low) { return dim * 2 + (travel_low ? 0 : 1); }
+
+/// Static span names so ScopedSpan never allocates on the hot path.
+constexpr const char* kStartDim[3] = {"start_x", "start_y", "start_z"};
+constexpr const char* kFinishDim[3] = {"finish_x", "finish_y", "finish_z"};
 
 }  // namespace
 
@@ -72,6 +77,7 @@ HaloExchange::HaloExchange(const core::Decomp3& decomp, int rank)
 }
 
 void HaloExchange::post_recvs(msg::Communicator& comm) {
+    trace::ScopedSpan span("post_recvs", "impl", trace::Lane::Host);
     for (int d = 0; d < 3; ++d) {
         const auto du = static_cast<std::size_t>(d);
         // Low halo is filled by the low neighbour's high-travelling message;
@@ -85,6 +91,7 @@ void HaloExchange::post_recvs(msg::Communicator& comm) {
 
 void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
                              int dim, omp::ThreadTeam* team) {
+    trace::ScopedSpan span(kStartDim[dim], "impl", trace::Lane::Host);
     const auto du = static_cast<std::size_t>(dim);
     const auto& e = plan_.dims[du];
     pack_parallel(f, e.send_low, sbuf_[du][0], team);
@@ -95,6 +102,7 @@ void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
 
 void HaloExchange::finish_dim(core::Field3& f, int dim,
                               omp::ThreadTeam* team) {
+    trace::ScopedSpan span(kFinishDim[dim], "impl", trace::Lane::Host);
     const auto du = static_cast<std::size_t>(dim);
     const auto& e = plan_.dims[du];
     rreq_[du][0].wait();
@@ -105,6 +113,7 @@ void HaloExchange::finish_dim(core::Field3& f, int dim,
 
 void HaloExchange::exchange_all(msg::Communicator& comm, core::Field3& f,
                                 omp::ThreadTeam* team) {
+    trace::ScopedSpan span("exchange_all", "impl", trace::Lane::Host);
     post_recvs(comm);
     for (int d = 0; d < 3; ++d) {
         start_dim(comm, f, d, team);

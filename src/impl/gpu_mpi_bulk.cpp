@@ -13,6 +13,7 @@
 #include "impl/exchange.hpp"
 #include "impl/gpu_task.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -53,21 +54,31 @@ SolveResult solve_gpu_mpi_bulk(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
-            // CPU copies boundary buffers from the GPU...
-            staging.enqueue_d2h(stream, d_cur);
-            stream.synchronize();
-            staging.unpack_outbound(mirror);
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+            {
+                // CPU copies boundary buffers from the GPU...
+                trace::ScopedSpan span("stage_out", "impl", trace::Lane::Host);
+                staging.enqueue_d2h(stream, d_cur);
+                stream.synchronize();
+                staging.unpack_outbound(mirror);
+            }
             // ...communicates the boundaries as in the CPU-only
             // bulk-synchronous implementation...
             exchange.exchange_all(comm, mirror, &team);
-            // ...copies halo buffers back to the GPU...
-            staging.enqueue_h2d(stream, mirror, d_cur);
-            // ...and makes kernel calls for the faces and interior.
-            for (const auto& slab : parts.boundary)
-                launch_stencil(stream, device, d_cur, d_nxt, slab, cfg.block_x,
-                               cfg.block_y);
-            launch_stencil(stream, device, d_cur, d_nxt, parts.interior,
-                           cfg.block_x, cfg.block_y);
+            {
+                // ...copies halo buffers back to the GPU...
+                trace::ScopedSpan span("stage_in", "impl", trace::Lane::Host);
+                staging.enqueue_h2d(stream, mirror, d_cur);
+            }
+            {
+                // ...and makes kernel calls for the faces and interior.
+                trace::ScopedSpan span("launch", "impl", trace::Lane::Host);
+                for (const auto& slab : parts.boundary)
+                    launch_stencil(stream, device, d_cur, d_nxt, slab,
+                                   cfg.block_x, cfg.block_y);
+                launch_stencil(stream, device, d_cur, d_nxt, parts.interior,
+                               cfg.block_x, cfg.block_y);
+            }
             stream.synchronize();
             d_cur.swap(d_nxt);
         }

@@ -16,6 +16,7 @@
 #include "impl/exchange.hpp"
 #include "impl/gpu_task.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -57,21 +58,33 @@ SolveResult solve_gpu_mpi_streams(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
-            // Stream 1: interior points (no halo dependency).
-            launch_stencil(interior_stream, device, d_cur, d_nxt,
-                           parts.interior, cfg.block_x, cfg.block_y);
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+            {
+                // Stream 1: interior points (no halo dependency).
+                trace::ScopedSpan span("launch_interior", "impl",
+                                       trace::Lane::Host);
+                launch_stencil(interior_stream, device, d_cur, d_nxt,
+                               parts.interior, cfg.block_x, cfg.block_y);
+            }
             // CPU: MPI exchange with last step's staged boundary values.
             exchange.exchange_all(comm, mirror, &team);
-            // Stream 2: halos in, boundary faces, new boundary out.
-            staging.enqueue_h2d(boundary_stream, mirror, d_cur);
-            for (const auto& slab : parts.boundary)
-                launch_stencil(boundary_stream, device, d_cur, d_nxt, slab,
-                               cfg.block_x, cfg.block_y);
-            staging.enqueue_d2h(boundary_stream, d_nxt);
+            {
+                // Stream 2: halos in, boundary faces, new boundary out.
+                trace::ScopedSpan span("launch_boundary", "impl",
+                                       trace::Lane::Host);
+                staging.enqueue_h2d(boundary_stream, mirror, d_cur);
+                for (const auto& slab : parts.boundary)
+                    launch_stencil(boundary_stream, device, d_cur, d_nxt, slab,
+                                   cfg.block_x, cfg.block_y);
+                staging.enqueue_d2h(boundary_stream, d_nxt);
+            }
             // End of step: synchronize the two streams.
             interior_stream.synchronize();
             boundary_stream.synchronize();
-            staging.unpack_outbound(mirror);  // next step's MPI source
+            {
+                trace::ScopedSpan span("unpack", "impl", trace::Lane::Host);
+                staging.unpack_outbound(mirror);  // next step's MPI source
+            }
             d_cur.swap(d_nxt);
         }
         comm.barrier();

@@ -9,6 +9,7 @@
 #include "impl/cpu_kernels.hpp"
 #include "impl/device_field.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -31,6 +32,7 @@ SolveResult solve_gpu_resident(const SolverConfig& cfg) {
     stream.synchronize();
     const double t0 = now_seconds();
     for (int s = 0; s < cfg.steps; ++s) {
+        trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
         for (int d = 0; d < 3; ++d) launch_periodic_halo(stream, cur, d);
         launch_stencil(stream, device, cur, nxt,
                        {{0, 0, 0}, {n.nx, n.ny, n.nz}}, cfg.block_x,

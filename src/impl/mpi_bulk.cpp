@@ -9,6 +9,7 @@
 #include "impl/cpu_kernels.hpp"
 #include "impl/exchange.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -39,9 +40,16 @@ SolveResult solve_mpi_bulk(const SolverConfig& cfg) {
         comm.barrier();  // "a barrier immediately before measuring the start"
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
             exchange.exchange_all(comm, cur, &team);            // Step 1
-            stencil_parallel(team, coeffs, cur, nxt, interior); // Step 2
-            copy_parallel(team, nxt, cur, interior);            // Step 3
+            {
+                trace::ScopedSpan span("interior", "impl", trace::Lane::Host);
+                stencil_parallel(team, coeffs, cur, nxt, interior);  // Step 2
+            }
+            {
+                trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
+                copy_parallel(team, nxt, cur, interior);        // Step 3
+            }
         }
         comm.barrier();
         const double t1 = now_seconds();

@@ -11,6 +11,7 @@
 #include "impl/cpu_kernels.hpp"
 #include "impl/exchange.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -49,19 +50,29 @@ SolveResult solve_mpi_nonblocking(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
             exchange.post_recvs(comm);
             for (int d = 0; d < 3; ++d) {
                 exchange.start_dim(comm, cur, d, &team);
                 // One interior third overlaps this dimension's messages.
-                if (static_cast<std::size_t>(d) < thirds.size())
+                if (static_cast<std::size_t>(d) < thirds.size()) {
+                    trace::ScopedSpan span("interior", "impl",
+                                           trace::Lane::Host);
                     stencil_parallel(team, coeffs, cur, nxt,
                                      interior_third[static_cast<std::size_t>(d)]);
+                }
                 exchange.finish_dim(cur, d, &team);
             }
             // "The threads compute the boundary points after the
             // communication."
-            stencil_parallel(team, coeffs, cur, nxt, boundary);
-            copy_parallel(team, nxt, cur, all);  // Step 3
+            {
+                trace::ScopedSpan span("boundary", "impl", trace::Lane::Host);
+                stencil_parallel(team, coeffs, cur, nxt, boundary);
+            }
+            {
+                trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
+                copy_parallel(team, nxt, cur, all);  // Step 3
+            }
         }
         comm.barrier();
         const double t1 = now_seconds();

@@ -13,6 +13,7 @@
 #include "impl/cpu_kernels.hpp"
 #include "impl/exchange.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -48,6 +49,7 @@ SolveResult solve_mpi_thread_overlap(const SolverConfig& cfg) {
         comm.barrier();
         const double t0 = now_seconds();
         for (int s = 0; s < cfg.steps; ++s) {
+            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
             omp::LoopScheduler interior_sched(0, interior.size(),
                                               omp::Schedule::Guided,
                                               team.size());
@@ -59,6 +61,8 @@ SolveResult solve_mpi_thread_overlap(const SolverConfig& cfg) {
             team.parallel([&](int id) {
                 if (id == 0) {
                     // !$omp master: serial communication, then join in.
+                    trace::ScopedSpan span("master_exchange", "impl",
+                                           trace::Lane::Host);
                     exchange.exchange_all(comm, cur, /*team=*/nullptr);
                 }
                 omp::drain(interior_sched, id,

@@ -6,6 +6,7 @@
 
 #include "impl/cpu_kernels.hpp"
 #include "impl/registry.hpp"
+#include "trace/span.hpp"
 
 namespace advect::impl {
 
@@ -24,9 +25,19 @@ SolveResult solve_single_task(const SolverConfig& cfg) {
 
     const double t0 = now_seconds();
     for (int s = 0; s < cfg.steps; ++s) {
-        halo_fill_parallel(team, cur);                          // Step 1
-        stencil_parallel(team, coeffs, cur, nxt, interior);     // Step 2
-        copy_parallel(team, nxt, cur, interior);                // Step 3
+        trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+        {
+            trace::ScopedSpan span("halo_fill", "impl", trace::Lane::Host);
+            halo_fill_parallel(team, cur);                      // Step 1
+        }
+        {
+            trace::ScopedSpan span("interior", "impl", trace::Lane::Host);
+            stencil_parallel(team, coeffs, cur, nxt, interior); // Step 2
+        }
+        {
+            trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
+            copy_parallel(team, nxt, cur, interior);            // Step 3
+        }
     }
     const double t1 = now_seconds();
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/span.hpp"
+
 namespace advect::msg {
 
 World::World(int nranks)
@@ -19,6 +21,7 @@ World::World(int nranks)
 
 Request Communicator::isend(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size());
+    trace::ScopedSpan span("isend", "msg", trace::Lane::Nic);
     world_->mailbox(dest).deliver(rank_, tag, data);
     return Request{};  // buffered send: complete on return
 }
@@ -36,9 +39,13 @@ void Communicator::recv(int src, int tag, std::span<double> out) {
     irecv(src, tag, out).wait();
 }
 
-void Communicator::barrier() { world_->barrier_.arrive_and_wait(); }
+void Communicator::barrier() {
+    trace::ScopedSpan span("barrier", "msg", trace::Lane::Host);
+    world_->barrier_.arrive_and_wait();
+}
 
 double Communicator::allreduce_sum(double value) {
+    trace::ScopedSpan span("allreduce_sum", "msg", trace::Lane::Host);
     world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
     barrier();
     double sum = 0.0;
@@ -48,6 +55,7 @@ double Communicator::allreduce_sum(double value) {
 }
 
 double Communicator::allreduce_max(double value) {
+    trace::ScopedSpan span("allreduce_max", "msg", trace::Lane::Host);
     world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
     barrier();
     double mx = world_->reduce_slots_[0];
@@ -75,6 +83,7 @@ void run_ranks(int nranks,
         for (int r = 0; r < nranks; ++r) {
             threads.emplace_back([&world, &rank_main, &first_error, &error_mu,
                                   r] {
+                trace::set_current_rank(r);
                 Communicator comm(world, r);
                 try {
                     rank_main(comm);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trace/span.hpp"
+
 namespace advect::msg {
 
 void Mailbox::deliver(int src, int tag, std::span<const double> data) {
@@ -35,6 +37,10 @@ void Mailbox::deliver(int src, int tag, std::span<const double> data) {
 
 Request Mailbox::post_receive(int src, int tag, std::span<double> out) {
     auto state = std::make_shared<detail::RequestState>();
+    if (trace::enabled()) {
+        state->trace_t0 = trace::now();
+        state->trace_rank = trace::current_rank();
+    }
     std::vector<double> payload;  // move matched payload out of the lock
     bool matched = false;
     {

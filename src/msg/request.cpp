@@ -1,9 +1,30 @@
 #include "msg/request.hpp"
 
+#include "trace/span.hpp"
+
 namespace advect::msg {
+
+namespace detail {
+
+void RequestState::complete(std::size_t delivered) {
+    {
+        std::lock_guard lock(mu);
+        done = true;
+        count = delivered;
+    }
+    cv.notify_all();
+    // The recv span covers the request's open lifetime — post to delivery —
+    // which is exactly the window the NIC would be occupied for.
+    if (trace_t0 >= 0.0 && trace::enabled())
+        trace::record("recv", "msg", trace::Lane::Nic, trace_t0, trace::now(),
+                      trace_rank);
+}
+
+}  // namespace detail
 
 void Request::wait() {
     if (!state_) return;
+    trace::ScopedSpan span("wait", "msg", trace::Lane::Host);
     std::unique_lock lock(state_->mu);
     state_->cv.wait(lock, [this] { return state_->done; });
 }
@@ -21,6 +42,7 @@ std::size_t Request::count() const {
 }
 
 void Request::wait_all(std::span<Request> reqs) {
+    trace::ScopedSpan span("waitall", "msg", trace::Lane::Host);
     for (auto& r : reqs) r.wait();
 }
 

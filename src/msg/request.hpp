@@ -23,14 +23,13 @@ struct RequestState {
     bool done = false;
     std::size_t count = 0;  ///< doubles delivered (receives)
 
-    void complete(std::size_t delivered) {
-        {
-            std::lock_guard lock(mu);
-            done = true;
-            count = delivered;
-        }
-        cv.notify_all();
-    }
+    /// Trace context stamped at post time (receives only): the span covering
+    /// the request's open lifetime is recorded by complete(). Negative t0
+    /// means tracing was off when the request was posted.
+    double trace_t0 = -1.0;
+    int trace_rank = -1;
+
+    void complete(std::size_t delivered);
 };
 
 }  // namespace detail

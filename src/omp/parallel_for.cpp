@@ -1,10 +1,23 @@
 #include "omp/parallel_for.hpp"
 
+#include "trace/span.hpp"
+
 namespace advect::omp {
 
 void drain(LoopScheduler& sched, int thread_id,
            const std::function<void(std::int64_t, std::int64_t)>& body) {
-    while (auto chunk = sched.next(thread_id)) body(chunk->begin, chunk->end);
+    if (!trace::enabled()) {
+        while (auto chunk = sched.next(thread_id))
+            body(chunk->begin, chunk->end);
+        return;
+    }
+    const char* name = "chunk_static";
+    if (sched.schedule() == Schedule::Dynamic) name = "chunk_dynamic";
+    if (sched.schedule() == Schedule::Guided) name = "chunk_guided";
+    while (auto chunk = sched.next(thread_id)) {
+        trace::ScopedSpan span(name, "omp", trace::Lane::Cpu, thread_id);
+        body(chunk->begin, chunk->end);
+    }
 }
 
 void parallel_for(ThreadTeam& team, std::int64_t begin, std::int64_t end,

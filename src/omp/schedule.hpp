@@ -45,6 +45,9 @@ class LoopScheduler {
     /// Total iterations in the loop.
     [[nodiscard]] std::int64_t size() const { return end_ - begin_; }
 
+    /// Scheduling policy this dispenser was built with.
+    [[nodiscard]] Schedule schedule() const { return schedule_; }
+
   private:
     std::int64_t begin_;
     std::int64_t end_;

@@ -3,10 +3,14 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trace/span.hpp"
+
 namespace advect::omp {
 
 ThreadTeam::ThreadTeam(int nthreads)
-    : nthreads_(nthreads), region_barrier_(nthreads) {
+    : nthreads_(nthreads),
+      trace_rank_(trace::current_rank()),
+      region_barrier_(nthreads) {
     if (nthreads < 1)
         throw std::invalid_argument("ThreadTeam: nthreads must be >= 1");
     workers_.reserve(static_cast<std::size_t>(nthreads - 1));
@@ -29,7 +33,11 @@ void ThreadTeam::parallel(const std::function<void(int)>& body) {
         ++generation_;
     }
     cv_.notify_all();
-    body(0);
+    {
+        trace::ScopedSpan span("region", "omp", trace::Lane::Cpu,
+                               /*thread=*/0);
+        body(0);
+    }
     region_barrier_.arrive_and_wait();  // end-of-region barrier
     job_ = nullptr;
 }
@@ -37,6 +45,7 @@ void ThreadTeam::parallel(const std::function<void(int)>& body) {
 void ThreadTeam::barrier() { region_barrier_.arrive_and_wait(); }
 
 void ThreadTeam::worker_loop(int id) {
+    trace::set_current_rank(trace_rank_);
     std::uint64_t seen = 0;
     for (;;) {
         const std::function<void(int)>* job = nullptr;
@@ -48,7 +57,10 @@ void ThreadTeam::worker_loop(int id) {
             job = job_;
         }
         assert(job != nullptr);
-        (*job)(id);
+        {
+            trace::ScopedSpan span("region", "omp", trace::Lane::Cpu, id);
+            (*job)(id);
+        }
         region_barrier_.arrive_and_wait();  // end-of-region barrier
     }
 }

@@ -44,6 +44,10 @@ class ThreadTeam {
     void worker_loop(int id);
 
     int nthreads_;
+    /// msg rank of the creating thread, inherited by the workers so their
+    /// trace spans attribute to the right rank (worker threads are spawned
+    /// by the rank thread but do not share its thread-locals).
+    int trace_rank_;
     std::mutex mu_;
     std::condition_variable cv_;
     const std::function<void(int)>* job_ = nullptr;

@@ -99,6 +99,32 @@ class Builder {
         return des::render_gantt(eng_, opt);
     }
 
+    /// Executed intervals as trace spans (call after makespan()). Each task
+    /// lands on the lane of its first cpu/nic/pcie/gpu claim; taskless
+    /// bookkeeping stays on the Host lane.
+    [[nodiscard]] std::vector<trace::Span> spans() const {
+        std::vector<trace::Span> out;
+        out.reserve(eng_.trace().size());
+        for (const auto& iv : eng_.trace()) {
+            trace::Span s;
+            s.name = eng_.task_name(iv.task);
+            s.category = "des";
+            s.lane = trace::Lane::Host;
+            for (const auto& c : eng_.task_claims(iv.task)) {
+                const auto lane =
+                    trace::lane_from_name(eng_.resource_name(c.resource));
+                if (lane != trace::Lane::Host) {
+                    s.lane = lane;
+                    break;
+                }
+            }
+            s.t0 = iv.start;
+            s.t1 = iv.end;
+            out.push_back(std::move(s));
+        }
+        return out;
+    }
+
     /// Resource utilizations after makespan(); names match the engine's.
     [[nodiscard]] std::vector<ResourceUsage> usages() const {
         std::vector<ResourceUsage> out;
@@ -572,6 +598,18 @@ std::string render_step_gantt(Code impl, const RunConfig& cfg, int width) {
         return b.gantt(opt);
     } catch (const std::invalid_argument& e) {
         return std::string("(infeasible: ") + e.what() + ")\n";
+    }
+}
+
+std::vector<trace::Span> step_spans(Code impl, const RunConfig& cfg,
+                                    int steps) {
+    if (!config_valid(impl, cfg)) return {};
+    try {
+        Builder b(impl, cfg, steps);
+        b.makespan();
+        return b.spans();
+    } catch (const std::invalid_argument&) {
+        return {};
     }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sched/node_model.hpp"
+#include "trace/span.hpp"
 
 namespace advect::sched {
 
@@ -47,5 +48,15 @@ struct StepReport {
 /// infeasible configurations.
 [[nodiscard]] std::string render_step_gantt(Code impl, const RunConfig& cfg,
                                             int width = 72);
+
+/// Bridge from the modelled schedule to the runtime trace format: build and
+/// run `steps` steps of the implementation's task graph and return its
+/// executed intervals as trace spans (category "des", lanes mapped from the
+/// engine's "cpu"/"nic"/"pcie"/"gpu" resources). The modelled timeline can
+/// then flow through the same Chrome-JSON / overlap-summary exporters as a
+/// real execution. Empty for infeasible configurations.
+[[nodiscard]] std::vector<trace::Span> step_spans(Code impl,
+                                                  const RunConfig& cfg,
+                                                  int steps = 2);
 
 }  // namespace advect::sched

@@ -1,0 +1,248 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace advect::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+/// Process id: ranks become 1-based pids, unattributed spans share pid 0.
+int pid_of(const Span& s) { return s.rank + 1; }
+
+/// Thread row within the process: lanes stack top-down in enum order, and
+/// within a lane each team thread / device stream gets its own row.
+int tid_of(const Span& s) {
+    const int sub = s.stream >= 0 ? s.stream + 1 : (s.thread >= 0 ? s.thread + 1 : 0);
+    return static_cast<int>(s.lane) * 1024 + sub;
+}
+
+std::string row_name(const Span& s) {
+    std::string name = lane_name(s.lane);
+    if (s.stream >= 0)
+        name += " stream " + std::to_string(s.stream);
+    else if (s.thread >= 0)
+        name += " thread " + std::to_string(s.thread);
+    return name;
+}
+
+}  // namespace
+
+std::string to_chrome_json(std::span<const Span> spans) {
+    double t_min = 0.0;
+    if (!spans.empty()) {
+        t_min = spans.front().t0;
+        for (const auto& s : spans) t_min = std::min(t_min, s.t0);
+    }
+
+    std::string out = "{\"traceEvents\":[";
+    char buf[160];
+    bool first = true;
+
+    // Metadata: name processes and thread rows once each.
+    std::map<int, bool> seen_pid;
+    std::map<std::pair<int, int>, const Span*> seen_tid;
+    for (const auto& s : spans) {
+        seen_pid.emplace(pid_of(s), s.rank >= 0);
+        seen_tid.emplace(std::make_pair(pid_of(s), tid_of(s)), &s);
+    }
+    for (const auto& [pid, is_rank] : seen_pid) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                      "\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                      first ? "" : ",", pid,
+                      is_rank ? ("rank " + std::to_string(pid - 1)).c_str()
+                              : "shared");
+        out += buf;
+        first = false;
+    }
+    for (const auto& [key, span] : seen_tid) {
+        out += ",{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+               ",\"tid\":" + std::to_string(key.second) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        append_escaped(out, row_name(*span));
+        out += "\"}}";
+        // Keep lanes in enum order inside each process.
+        out += ",{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+               ",\"tid\":" + std::to_string(key.second) +
+               ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+               std::to_string(key.second) + "}}";
+        first = false;
+    }
+
+    for (const auto& s : spans) {
+        out += first ? "{" : ",{";
+        first = false;
+        out += "\"ph\":\"X\",\"name\":\"";
+        append_escaped(out, s.name);
+        out += "\",\"cat\":\"";
+        append_escaped(out, s.category);
+        std::snprintf(buf, sizeof buf,
+                      "\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+                      pid_of(s), tid_of(s), (s.t0 - t_min) * 1e6,
+                      (s.t1 - s.t0) * 1e6);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      ",\"args\":{\"lane\":\"%s\",\"rank\":%d,\"thread\":%d,"
+                      "\"stream\":%d}}",
+                      lane_name(s.lane), s.rank, s.thread, s.stream);
+        out += buf;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+double OverlapReport::pair_fraction(Lane a, Lane b) const {
+    const double lo = std::min(busy_of(a), busy_of(b));
+    if (lo <= 0.0) return 0.0;
+    return pair_seconds(a, b) / lo;
+}
+
+OverlapReport summarize(std::span<const Span> spans) {
+    OverlapReport r;
+    r.span_count = spans.size();
+    if (spans.empty()) return r;
+
+    // Sweep line: +1/-1 events per lane, processed in time order with ends
+    // before starts at equal times (zero-length spans contribute nothing).
+    struct Ev {
+        double t;
+        int delta;
+        std::size_t lane;
+    };
+    std::vector<Ev> evs;
+    evs.reserve(spans.size() * 2);
+    r.t_begin = spans.front().t0;
+    r.t_end = spans.front().t1;
+    for (const auto& s : spans) {
+        const auto l = static_cast<std::size_t>(s.lane);
+        evs.push_back({s.t0, +1, l});
+        evs.push_back({s.t1, -1, l});
+        r.t_begin = std::min(r.t_begin, s.t0);
+        r.t_end = std::max(r.t_end, s.t1);
+    }
+    std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+        if (a.t != b.t) return a.t < b.t;
+        return a.delta < b.delta;
+    });
+
+    std::array<int, kLaneCount> active{};
+    const auto host = static_cast<std::size_t>(Lane::Host);
+    double prev = evs.front().t;
+    for (const auto& ev : evs) {
+        const double dt = ev.t - prev;
+        if (dt > 0.0) {
+            int non_host_busy = 0;
+            for (std::size_t l = 0; l < kLaneCount; ++l)
+                if (l != host && active[l] > 0) ++non_host_busy;
+            if (non_host_busy > 0) r.union_busy += dt;
+            for (std::size_t l = 0; l < kLaneCount; ++l) {
+                if (active[l] <= 0) continue;
+                r.busy[l] += dt;
+                const int others =
+                    non_host_busy - (l != host && active[l] > 0 ? 1 : 0);
+                if (others == 0) r.exclusive[l] += dt;
+                for (std::size_t m = l + 1; m < kLaneCount; ++m)
+                    if (active[m] > 0) {
+                        r.pair[l][m] += dt;
+                        r.pair[m][l] += dt;
+                    }
+            }
+        }
+        active[ev.lane] += ev.delta;
+        prev = ev.t;
+    }
+
+    double busy_sum = 0.0;
+    for (std::size_t l = 0; l < kLaneCount; ++l)
+        if (l != host) busy_sum += r.busy[l];
+    r.overlap_factor = r.union_busy > 0.0 ? busy_sum / r.union_busy : 0.0;
+    return r;
+}
+
+OverlapReport summarize_rank(std::span<const Span> spans, int rank) {
+    std::vector<Span> mine;
+    for (const auto& s : spans)
+        if (s.rank == rank) mine.push_back(s);
+    return summarize(mine);
+}
+
+double mean_rank_pair_fraction(std::span<const Span> spans, Lane a, Lane b) {
+    std::vector<int> ranks;
+    for (const auto& s : spans)
+        if (s.rank >= 0 &&
+            std::find(ranks.begin(), ranks.end(), s.rank) == ranks.end())
+            ranks.push_back(s.rank);
+    double sum = 0.0;
+    int counted = 0;
+    for (int r : ranks) {
+        const auto report = summarize_rank(spans, r);
+        if (report.busy_of(a) <= 0.0 || report.busy_of(b) <= 0.0) continue;
+        sum += report.pair_fraction(a, b);
+        ++counted;
+    }
+    return counted > 0 ? sum / counted : 0.0;
+}
+
+std::string format_summary(const OverlapReport& report) {
+    std::string out;
+    char buf[160];
+    const double wall = report.t_end - report.t_begin;
+    std::snprintf(buf, sizeof buf,
+                  "trace: %zu spans over %.3f ms, overlap factor %.2f\n",
+                  report.span_count, wall * 1e3, report.overlap_factor);
+    out += buf;
+    for (std::size_t l = 0; l < kLaneCount; ++l) {
+        const auto lane = static_cast<Lane>(l);
+        const double busy = report.busy[l];
+        if (busy <= 0.0) continue;
+        const double frac = wall > 0.0 ? busy / wall : 0.0;
+        const int bars =
+            static_cast<int>(std::min(1.0, frac) * 40.0 + 0.5);
+        std::snprintf(buf, sizeof buf,
+                      "  %-5s %7.3f ms busy (%5.1f%%) |%.*s%*s| "
+                      "exclusive %.3f ms\n",
+                      lane_name(lane), busy * 1e3, frac * 100.0, bars,
+                      "########################################", 40 - bars,
+                      "", report.exclusive[l] * 1e3);
+        out += buf;
+    }
+    static constexpr std::pair<Lane, Lane> kPairs[] = {
+        {Lane::Cpu, Lane::Nic},  {Lane::Cpu, Lane::Gpu},
+        {Lane::Cpu, Lane::Pcie}, {Lane::Nic, Lane::Pcie},
+        {Lane::Nic, Lane::Gpu},  {Lane::Pcie, Lane::Gpu},
+    };
+    for (const auto& [a, b] : kPairs) {
+        if (report.busy_of(a) <= 0.0 || report.busy_of(b) <= 0.0) continue;
+        std::snprintf(buf, sizeof buf,
+                      "  %s+%s concurrent %.3f ms (%.0f%% of the lesser)\n",
+                      lane_name(a), lane_name(b), report.pair_seconds(a, b) * 1e3,
+                      report.pair_fraction(a, b) * 100.0);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace advect::trace

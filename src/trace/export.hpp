@@ -1,0 +1,76 @@
+#pragma once
+/// \file export.hpp
+/// Exporters over recorded spans: Chrome trace-event JSON (loadable in
+/// chrome://tracing or Perfetto) and an overlap summary quantifying the
+/// paper's thesis — how much of the step each resource lane was busy, how
+/// much of that activity ran concurrently with each other lane, and how
+/// much of the timeline each lane carried alone (its critical-path share).
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "trace/span.hpp"
+
+namespace advect::trace {
+
+/// Render spans as Chrome trace-event JSON ("X" complete events). One
+/// process per rank (rank -1 becomes the "shared" process 0); one named
+/// thread row per (lane, team-thread/stream) pair so overlap is visible as
+/// vertically stacked bars. Times are exported in microseconds.
+[[nodiscard]] std::string to_chrome_json(std::span<const Span> spans);
+
+/// Resource-concurrency accounting over one trace.
+struct OverlapReport {
+    double t_begin = 0.0;  ///< earliest span start
+    double t_end = 0.0;    ///< latest span end
+    /// Busy seconds per lane: measure of the union of the lane's spans.
+    std::array<double, kLaneCount> busy{};
+    /// Seconds each lane was busy while no *other* lane was (Host lane
+    /// excluded from "other"): the lane's share of the critical path.
+    std::array<double, kLaneCount> exclusive{};
+    /// Pairwise concurrency: seconds lanes a and b were both busy.
+    std::array<std::array<double, kLaneCount>, kLaneCount> pair{};
+    /// Seconds at least one non-Host lane was busy.
+    double union_busy = 0.0;
+    /// Sum of non-Host busy seconds over union_busy: 1.0 = fully
+    /// serialized, higher = overlapped (same statistic as
+    /// sched::StepReport::overlap_factor, measured instead of modelled).
+    double overlap_factor = 0.0;
+    std::size_t span_count = 0;
+
+    [[nodiscard]] double busy_of(Lane lane) const {
+        return busy[static_cast<std::size_t>(lane)];
+    }
+    [[nodiscard]] double pair_seconds(Lane a, Lane b) const {
+        return pair[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+    }
+    /// Concurrency fraction of a lane pair: both-busy seconds over the
+    /// smaller of the two busy times. 0 = never concurrent, 1 = the less
+    /// busy lane ran entirely under the busier one. 0 when either is idle.
+    [[nodiscard]] double pair_fraction(Lane a, Lane b) const;
+};
+
+/// Sweep-line accounting over the spans (any order accepted).
+[[nodiscard]] OverlapReport summarize(std::span<const Span> spans);
+
+/// Same accounting restricted to one rank's spans (spans with a different
+/// rank id are ignored; rank -1 spans only match a -1 filter).
+[[nodiscard]] OverlapReport summarize_rank(std::span<const Span> spans,
+                                           int rank);
+
+/// Mean per-rank concurrency fraction of a lane pair. Aggregated lanes
+/// would credit rank A's NIC activity against rank B's PCIe activity —
+/// meaningless drift overlap; this statistic instead measures the pair
+/// within each rank separately and averages over the ranks where both
+/// lanes ran. This is the paper's overlap thesis as one number per
+/// implementation: ~0 for the bulk-synchronous §IV-F step, high for the
+/// fully overlapped §IV-I step.
+[[nodiscard]] double mean_rank_pair_fraction(std::span<const Span> spans,
+                                             Lane a, Lane b);
+
+/// Fixed-width terminal rendering of a report: per-lane busy/exclusive
+/// bars, the overlap factor and the interesting lane pairs.
+[[nodiscard]] std::string format_summary(const OverlapReport& report);
+
+}  // namespace advect::trace

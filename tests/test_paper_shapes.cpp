@@ -1,0 +1,188 @@
+/// \file test_paper_shapes.cpp
+/// Golden-shape regression tests: the paper's figure-level findings,
+/// asserted over the modelled schedules as part of the ctest suite. The
+/// bench_figN executables print and check the same curves interactively;
+/// these tests pin the qualitative shapes — crossovers, monotonic trends,
+/// rise-then-fall curves, overlap ratios — so a refactor of the cost model
+/// or DES engine that silently flattens one of the paper's findings fails
+/// the test suite rather than only a manually-run bench.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "model/gpu_cost.hpp"
+#include "sched/sweeps.hpp"
+
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+namespace {
+
+/// Best threads-per-task of the bulk-synchronous implementation at each
+/// node count (the quantity Figs. 5 and 6 plot).
+std::vector<int> best_threads_series(const model::MachineSpec& m) {
+    const auto nodes = sched::default_node_counts(m);
+    std::vector<int> best_at(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        double best = -1.0;
+        for (int t : m.threads_per_task_choices()) {
+            const int nn[] = {nodes[i]};
+            const double gf =
+                sched::threads_series(sched::Code::B, m, nn, t).front().gf;
+            if (gf > best) {
+                best = gf;
+                best_at[i] = t;
+            }
+        }
+    }
+    return best_at;
+}
+
+}  // namespace
+
+// Fig. 3 (JaguarPF): nonblocking overlap is a near-tie with bulk-synchronous
+// below ~4000 cores, and bulk-synchronous pulls ahead at >= 6000 cores with
+// a gap that grows as the work per core dwindles.
+TEST(PaperShapes, Fig3NonblockingCrossover) {
+    const auto m = model::MachineSpec::jaguarpf();
+    const auto nodes = sched::default_node_counts(m);
+    const auto bulk = sched::best_series(sched::Code::B, m, nodes);
+    const auto nonblocking = sched::best_series(sched::Code::C, m, nodes);
+    ASSERT_EQ(bulk.size(), nonblocking.size());
+    ASSERT_GE(bulk.size(), 2u);
+
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+        if (bulk[i].cores < 4000) {
+            EXPECT_GE(nonblocking[i].gf, 0.975 * bulk[i].gf)
+                << "nonblocking not within 2.5% of bulk at "
+                << bulk[i].cores << " cores";
+        }
+    }
+
+    // Overlap is relatively better at low core counts...
+    EXPECT_GT(nonblocking.front().gf / bulk.front().gf,
+              nonblocking.back().gf / bulk.back().gf);
+
+    // ...and bulk-synchronous wins at scale, by a growing margin.
+    double first_ratio = 0.0, last_ratio = 0.0;
+    bool any_high = false;
+    for (std::size_t i = 0; i < bulk.size(); ++i)
+        if (bulk[i].cores >= 6000) {
+            any_high = true;
+            const double r = bulk[i].gf / nonblocking[i].gf;
+            if (first_ratio == 0.0) first_ratio = r;
+            last_ratio = r;
+            EXPECT_GE(r, 1.02) << "bulk not ahead at " << bulk[i].cores
+                               << " cores";
+        }
+    ASSERT_TRUE(any_high);
+    EXPECT_GE(last_ratio, first_ratio);
+}
+
+// Figs. 5 and 6 (JaguarPF, Hopper II): the best number of OpenMP threads
+// per MPI task generally grows with the core count — large teams win at the
+// largest runs, small teams stay competitive at the smallest, and no single
+// value is best everywhere.
+TEST(PaperShapes, Fig5BestThreadsGrowWithCoresJaguarpf) {
+    const auto best_at = best_threads_series(model::MachineSpec::jaguarpf());
+    int decreases = 0;
+    for (std::size_t i = 1; i < best_at.size(); ++i)
+        if (best_at[i] < best_at[i - 1]) ++decreases;
+    EXPECT_LE(decreases, 1);
+    EXPECT_GE(best_at.back(), 6);
+    EXPECT_LE(best_at.front(), 6);
+    std::vector<int> uniq = best_at;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    EXPECT_GE(uniq.size(), 2u);
+}
+
+TEST(PaperShapes, Fig6BestThreadsGrowWithCoresHopper2) {
+    const auto m = model::MachineSpec::hopper2();
+    const auto best_at = best_threads_series(m);
+    int decreases = 0;
+    for (std::size_t i = 1; i < best_at.size(); ++i)
+        if (best_at[i] < best_at[i - 1]) ++decreases;
+    EXPECT_LE(decreases, 1);
+    EXPECT_GE(best_at.back(), 6);
+    // "24 threads per task is never optimal" on Hopper II.
+    for (int t : best_at) EXPECT_LT(t, m.cores_per_node());
+}
+
+// Figs. 7 and 8 (Lens, C1060): x = 32 (the warp size) gives the best
+// thread blocks, and performance rises then falls along block-y, peaking
+// in the paper's neighbourhood of y = 11.
+TEST(PaperShapes, Fig7BlockShapeRiseThenFall) {
+    const auto lens = model::MachineSpec::lens();
+    ASSERT_TRUE(lens.gpu.has_value());
+    const auto& g = *lens.gpu;
+
+    double best_gf = 0.0;
+    int best_x = 0, best_y = 0;
+    double best_for_x[4] = {};
+    const int xs[] = {16, 32, 64, 128};
+    for (int xi = 0; xi < 4; ++xi) {
+        for (int by = 1; by <= 512 / xs[xi] + 4; ++by) {
+            if (!model::block_fits(g, xs[xi], by)) continue;
+            const double gf = model::resident_gflops(g, 420, xs[xi], by);
+            best_for_x[xi] = std::max(best_for_x[xi], gf);
+            if (gf > best_gf) {
+                best_gf = gf;
+                best_x = xs[xi];
+                best_y = by;
+            }
+        }
+    }
+    EXPECT_EQ(best_x, 32);
+    EXPECT_GT(best_for_x[1], best_for_x[0]);  // 32 beats 16 (coalescing)
+    EXPECT_GT(best_for_x[1], best_for_x[2]);  // 32 beats 64
+    EXPECT_GT(best_for_x[1], best_for_x[3]);  // 32 beats 128
+    EXPECT_GE(best_y, 6);
+    EXPECT_LE(best_y, 14);
+    // Rise-then-fall along y at x = 32: the peak clearly beats small y.
+    EXPECT_GT(best_for_x[1], 1.05 * model::resident_gflops(g, 420, 32, 4));
+}
+
+// Fig. 9 (Lens): GPU implementations benefit greatly from overlap — the
+// full-overlap implementation sustains well over the bulk-synchronous GPU
+// one at every core count, and stream overlap always helps.
+TEST(PaperShapes, Fig9GpuOverlapWins) {
+    const auto m = model::MachineSpec::lens();
+    const auto nodes = sched::default_node_counts(m);
+    const auto gpu_bulk = sched::best_series(sched::Code::F, m, nodes);
+    const auto gpu_streams = sched::best_series(sched::Code::G, m, nodes);
+    const auto overlap = sched::best_series(sched::Code::I, m, nodes);
+    ASSERT_EQ(overlap.size(), gpu_bulk.size());
+    for (std::size_t i = 0; i < overlap.size(); ++i) {
+        EXPECT_GE(overlap[i].gf, 1.5 * gpu_bulk[i].gf)
+            << "full overlap under 1.5x bulk GPU at " << overlap[i].cores
+            << " cores";
+        EXPECT_GT(gpu_streams[i].gf, gpu_bulk[i].gf)
+            << "stream overlap not ahead of bulk GPU at "
+            << gpu_streams[i].cores << " cores";
+    }
+}
+
+// §V-E (single-node Yona): full overlap more than doubles the best
+// GPU-with-MPI performance, nearly recovers the GPU-resident rate, and its
+// best box thickness is small (the paper tunes to 3): "the CPUs are not
+// taking load away from the GPU as much as hiding the cost of the CPU-GPU
+// communication".
+TEST(PaperShapes, SectionVESingleNodeYona) {
+    const auto yona = model::MachineSpec::yona();
+    const int one[] = {1};
+    const auto resident = sched::best_series(sched::Code::E, yona, one)[0];
+    const auto f = sched::best_series(sched::Code::F, yona, one)[0];
+    const auto g = sched::best_series(sched::Code::G, yona, one)[0];
+    const auto overlap = sched::best_series(sched::Code::I, yona, one)[0];
+
+    EXPECT_LT(f.gf, g.gf);
+    EXPECT_LT(g.gf, overlap.gf);
+    EXPECT_GT(overlap.gf, 2.0 * g.gf);       // >2x best GPU-with-MPI
+    EXPECT_GT(overlap.gf, 0.85 * resident.gf);
+    EXPECT_LT(f.gf, 0.5 * resident.gf);
+    EXPECT_GE(overlap.box, 1);
+    EXPECT_LE(overlap.box, 3);  // best box thickness stays thin
+}

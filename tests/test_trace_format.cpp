@@ -56,6 +56,28 @@ TEST(RenderGantt, TruncatesLongTraces) {
     EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 15);
 }
 
+TEST(RenderGantt, TruncationMessageCountsHiddenTasks) {
+    // 40 tasks, max_rows 10: exactly 10 bars render and the trailer names
+    // the exact number left out.
+    des::Engine eng;
+    const auto cpu = eng.add_resource("cpu", 4);
+    for (int i = 0; i < 40; ++i) eng.add_task("t", 1.0, {{cpu, 1}}, {});
+    eng.run();
+    des::GanttOptions opt;
+    opt.max_rows = 10;
+    const auto text = des::render_gantt(eng, opt);
+    EXPECT_NE(text.find("... (30 more tasks)"), std::string::npos) << text;
+    std::size_t bars = 0;
+    for (std::size_t at = text.find("t "); at != std::string::npos;
+         at = text.find("t ", at + 1))
+        ++bars;
+    EXPECT_EQ(bars, 10u);
+    // One row shy of the limit: no trailer at all.
+    opt.max_rows = 40;
+    EXPECT_EQ(des::render_gantt(eng, opt).find("more tasks"),
+              std::string::npos);
+}
+
 TEST(RenderGantt, EmptyEngine) {
     des::Engine eng;
     eng.add_resource("cpu", 1);

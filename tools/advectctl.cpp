@@ -4,6 +4,9 @@
 ///
 ///   advectctl solve   [impl] [n] [steps] [tasks] [threads]
 ///       run one of the nine implementations for real and verify it
+///   advectctl trace   [impl] [n] [steps] [tasks] [threads] [out.json]
+///       run one implementation with runtime tracing on, write a Chrome
+///       trace-event JSON timeline and print the measured overlap summary
 ///   advectctl model   [machine] [impl] [nodes] [threads] [box]
 ///       modelled step time / GF / utilization for one configuration
 ///   advectctl tune    [machine] [nodes]
@@ -23,6 +26,8 @@
 #include "impl/registry.hpp"
 #include "sched/report.hpp"
 #include "sched/sweeps.hpp"
+#include "trace/export.hpp"
+#include "trace/span.hpp"
 #include "tune/tuner.hpp"
 
 namespace core = advect::core;
@@ -64,6 +69,49 @@ int cmd_solve(int argc, char** argv) {
                 r.wall_seconds, r.gf(cfg), r.error.linf,
                 r.state.interior_equals(ref) ? "yes" : "NO");
     return r.state.interior_equals(ref) ? 0 : 1;
+}
+
+int cmd_trace(int argc, char** argv) {
+    namespace trace = advect::trace;
+    const std::string id = argc > 0 ? argv[0] : "cpu_gpu_overlap";
+    impl::SolverConfig cfg;
+    cfg.problem =
+        core::AdvectionProblem::standard(argc > 1 ? std::atoi(argv[1]) : 24);
+    cfg.steps = argc > 2 ? std::atoi(argv[2]) : 8;
+    cfg.ntasks = argc > 3 ? std::atoi(argv[3]) : 4;
+    cfg.threads_per_task = argc > 4 ? std::atoi(argv[4]) : 2;
+    cfg.block_x = 8;
+    cfg.block_y = 4;
+    const std::string out_path =
+        argc > 5 ? argv[5] : (id + ".trace.json");
+
+    const auto& entry = impl::find_implementation(id);
+    if (!entry.uses_mpi) cfg.ntasks = 1;
+    std::printf("tracing %d^3 x %d steps of %s (%s)...\n",
+                cfg.problem.domain.n, cfg.steps, entry.id.c_str(),
+                entry.paper_section.c_str());
+    advect::trace::reset();
+    advect::trace::set_enabled(true);
+    const auto r = entry.solve(cfg);
+    advect::trace::set_enabled(false);
+    const auto spans = advect::trace::snapshot();
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fputs(trace::to_chrome_json(spans).c_str(), f);
+    std::fclose(f);
+
+    std::printf("  wall %.3f s   %zu spans -> %s (chrome://tracing)\n",
+                r.wall_seconds, spans.size(), out_path.c_str());
+    if (advect::trace::dropped() > 0)
+        std::printf("  warning: %zu spans dropped (shard capacity)\n",
+                    advect::trace::dropped());
+    std::fputs(trace::format_summary(trace::summarize(spans)).c_str(),
+               stdout);
+    return 0;
 }
 
 int cmd_model(int argc, char** argv) {
@@ -146,9 +194,10 @@ int cmd_impls() {
 void usage() {
     std::fprintf(stderr,
                  "usage: advectctl "
-                 "<solve|model|tune|scaling|gantt|machines|impls> "
+                 "<solve|trace|model|tune|scaling|gantt|machines|impls> "
                  "[args...]\n"
                  "  solve   [impl] [n] [steps] [tasks] [threads]\n"
+                 "  trace   [impl] [n] [steps] [tasks] [threads] [out.json]\n"
                  "  model   [machine] [impl] [nodes] [threads] [box]\n"
                  "  tune    [machine] [nodes]\n"
                  "  scaling [machine] [impl]\n"
@@ -165,6 +214,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     try {
         if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
+        if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
         if (cmd == "model") return cmd_model(argc - 2, argv + 2);
         if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
         if (cmd == "scaling") return cmd_scaling(argc - 2, argv + 2);
