@@ -1,5 +1,6 @@
 #include "core/stencil.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace advect::core {
@@ -137,6 +138,37 @@ std::vector<Range3> split_z(const Range3& r, int parts) {
             out.push_back(s);
         }
         k += len;
+    }
+    return out;
+}
+
+std::vector<std::vector<Range3>> split_rows(const Range3& r, int parts) {
+    assert(parts >= 1);
+    std::vector<std::vector<Range3>> out(static_cast<std::size_t>(parts));
+    if (r.empty()) return out;
+    const long ny = r.hi.j - r.lo.j;
+    const long total = static_cast<long>(r.hi.k - r.lo.k) * ny;
+    long b = 0;  // next unassigned row, in (z, y) order
+    for (int p = 0; p < parts; ++p) {
+        const long e = total * (p + 1) / parts;
+        auto& boxes = out[static_cast<std::size_t>(p)];
+        while (b < e) {
+            const int k = r.lo.k + static_cast<int>(b / ny);
+            const long j = b % ny;
+            Range3 s = r;
+            s.lo.k = k;
+            if (j == 0 && e - b >= ny) {  // run of whole planes
+                s.hi.k = k + static_cast<int>((e - b) / ny);
+                b += static_cast<long>(s.hi.k - s.lo.k) * ny;
+            } else {  // partial plane
+                s.hi.k = k + 1;
+                s.lo.j = r.lo.j + static_cast<int>(j);
+                s.hi.j =
+                    r.lo.j + static_cast<int>(std::min(ny, j + (e - b)));
+                b += s.hi.j - s.lo.j;
+            }
+            boxes.push_back(s);
+        }
     }
     return out;
 }

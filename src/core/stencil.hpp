@@ -91,4 +91,13 @@ struct InteriorBoundary {
 /// when r is thin; non-empty slabs differ in z-extent by at most 1.
 [[nodiscard]] std::vector<Range3> split_z(const Range3& r, int parts);
 
+/// Split `r` into `parts` near-equal pieces at x-row granularity (rows in
+/// (z, y) order), each piece a list of up to three disjoint boxes: a partial
+/// leading plane, a run of whole planes, a partial trailing plane. Pieces
+/// differ by at most one row, so §IV-C's "one third of the interior" stays
+/// balanced even on plane-thin subdomains where split_z cannot be. Pieces
+/// may be empty (no boxes) when r has fewer rows than parts.
+[[nodiscard]] std::vector<std::vector<Range3>> split_rows(const Range3& r,
+                                                          int parts);
+
 }  // namespace advect::core

@@ -5,116 +5,17 @@
 /// starts by exchanging inner halo/boundary buffers with the GPU and outer
 /// halos with other tasks through MPI, then issues the GPU block kernel and
 /// computes the box walls on the CPUs (which may overlap, since the kernel
-/// runs asynchronously on the device while the CPU computes).
+/// runs asynchronously on the device while the CPU computes). The step
+/// structure lives in src/plan/build_cpu_gpu_bulk.cpp; the shared harness
+/// executes it.
 
-#include <algorithm>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-
-#include "core/box_partition.hpp"
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
-#include "impl/gpu_task.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_cpu_gpu_bulk(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-    // Validate the box against every rank's subdomain up front: failing on
-    // one rank's thread while the others sit in the exchange would hang.
-    for (int r = 0; r < decomp.nranks(); ++r) {
-        const auto e = decomp.local_extents(r);
-        if (2 * cfg.box_thickness >= std::min({e.nx, e.ny, e.nz}))
-            throw std::invalid_argument(
-                "box_thickness " + std::to_string(cfg.box_thickness) +
-                " leaves rank " + std::to_string(r) +
-                " with an empty GPU block");
-    }
-    DevicePool pool(cfg.gpu_props, decomp.nranks(), cfg.tasks_per_gpu, coeffs);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-        auto& device = pool.device_for_rank(rank);
-
-        const core::BoxPartition box(n, cfg.box_thickness);
-        std::vector<core::Range3> wall_regions;
-        for (const auto& w : box.cpu_walls()) wall_regions.push_back(w.whole);
-        const core::RowSpace wall_rows(wall_regions);
-
-        core::Field3 cur(n);
-        core::Field3 nxt(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-        auto stream = device.create_stream();
-
-        DeviceField d_cur(device, n);
-        DeviceField d_nxt(device, n);
-        GpuStaging staging(device, box.gpu_halo_shell(),
-                           box.block_boundary_shell());
-        stream.memcpy_h2d(d_cur.buffer(), 0, cur.raw());
-        stream.synchronize();
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            {
-                // Exchange inner halo and boundary buffers with the GPU...
-                trace::ScopedSpan span("stage", "impl", trace::Lane::Host);
-                staging.enqueue_d2h(stream, d_cur);
-                stream.synchronize();
-                staging.unpack_outbound(cur);  // block boundary -> host
-                staging.enqueue_h2d(stream, cur, d_cur);  // shell -> GPU halo
-            }
-            // ...and outer halos and boundaries with other tasks through MPI.
-            exchange.exchange_all(comm, cur, &team);
-            {
-                // GPU kernel for the inner block points (asynchronous)...
-                trace::ScopedSpan span("launch", "impl", trace::Lane::Host);
-                launch_stencil(stream, device, d_cur, d_nxt, box.gpu_block(),
-                               cfg.block_x, cfg.block_y);
-            }
-            {
-                // ...while the CPU computes the outer box points.
-                trace::ScopedSpan span("walls", "impl", trace::Lane::Host);
-                stencil_parallel(team, coeffs, cur, nxt, wall_rows);
-                copy_parallel(team, nxt, cur, wall_rows);  // Step 3, walls
-            }
-            stream.synchronize();
-            d_cur.swap(d_nxt);
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        // Assemble: walls from the host state, block from the device.
-        core::Field3 block_out(n);
-        stream.memcpy_d2h(block_out.raw(), d_cur.buffer(), 0);
-        stream.synchronize();
-        cur.copy_region_from(block_out, box.gpu_block());
-        write_block(global, cur, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("cpu_gpu_bulk", cfg);
 }
 
 }  // namespace advect::impl

@@ -9,158 +9,16 @@
 /// computed last, after all communication. CPU computation, GPU
 /// computation, MPI communication, and CPU-GPU communication can all be in
 /// flight at once — which is why this implementation can gain more than a
-/// factor of two.
+/// factor of two. The step structure lives in
+/// src/plan/build_cpu_gpu_overlap.cpp; the shared harness executes it.
 
-#include <array>
-#include <algorithm>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-
-#include "core/box_partition.hpp"
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
-#include "impl/gpu_task.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_cpu_gpu_overlap(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-    // Validate the box against every rank's subdomain up front: failing on
-    // one rank's thread while the others sit in the exchange would hang.
-    for (int r = 0; r < decomp.nranks(); ++r) {
-        const auto e = decomp.local_extents(r);
-        if (2 * cfg.box_thickness >= std::min({e.nx, e.ny, e.nz}))
-            throw std::invalid_argument(
-                "box_thickness " + std::to_string(cfg.box_thickness) +
-                " leaves rank " + std::to_string(r) +
-                " with an empty GPU block");
-    }
-    DevicePool pool(cfg.gpu_props, decomp.nranks(), cfg.tasks_per_gpu, coeffs);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-        auto& device = pool.device_for_rank(rank);
-
-        const core::BoxPartition box(n, cfg.box_thickness);
-        // GPU block split into interior and boundary shell for the two
-        // streams.
-        const core::Range3 block_interior = core::expand(box.gpu_block(), -1);
-        const auto block_shell =
-            core::box_subtract(box.gpu_block(), block_interior);
-        // CPU walls split per dimension into inner (overlaps that
-        // dimension's MPI) and outer (computed after all communication).
-        std::array<std::vector<core::Range3>, 3> inner_by_dim;
-        std::vector<core::Range3> outer_all, wall_regions;
-        for (const auto& w : box.cpu_walls()) {
-            auto& dst = inner_by_dim[static_cast<std::size_t>(w.dim)];
-            dst.insert(dst.end(), w.inner.begin(), w.inner.end());
-            outer_all.insert(outer_all.end(), w.outer.begin(), w.outer.end());
-            wall_regions.push_back(w.whole);
-        }
-        std::array<core::RowSpace, 3> inner_rows;
-        for (int d = 0; d < 3; ++d)
-            inner_rows[static_cast<std::size_t>(d)] =
-                core::RowSpace(inner_by_dim[static_cast<std::size_t>(d)]);
-        const core::RowSpace outer_rows(outer_all);
-        const core::RowSpace wall_rows(wall_regions);
-
-        core::Field3 cur(n);
-        core::Field3 nxt(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-        auto interior_stream = device.create_stream();
-        auto boundary_stream = device.create_stream();
-
-        DeviceField d_cur(device, n);
-        DeviceField d_nxt(device, n);
-        GpuStaging staging(device, box.gpu_halo_shell(),
-                           box.block_boundary_shell());
-        interior_stream.memcpy_h2d(d_cur.buffer(), 0, cur.raw());
-        interior_stream.synchronize();
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            {
-                // Kernel for the GPU interior points first: it depends on no
-                // fresh data, so it overlaps everything below.
-                trace::ScopedSpan span("launch_interior", "impl",
-                                       trace::Lane::Host);
-                launch_stencil(interior_stream, device, d_cur, d_nxt,
-                               block_interior, cfg.block_x, cfg.block_y);
-            }
-            // Nonblocking MPI receives and asynchronous copies to the GPU,
-            // then the GPU boundary kernels and asynchronous copies back.
-            exchange.post_recvs(comm);
-            {
-                trace::ScopedSpan span("launch_boundary", "impl",
-                                       trace::Lane::Host);
-                staging.enqueue_h2d(boundary_stream, cur, d_cur);
-                for (const auto& slab : block_shell)
-                    launch_stencil(boundary_stream, device, d_cur, d_nxt,
-                                   slab, cfg.block_x, cfg.block_y);
-                staging.enqueue_d2h(boundary_stream, d_nxt);
-            }
-            // Overlap each dimension's MPI with the interior and
-            // inner-boundary points of that dimension's walls.
-            for (int d = 0; d < 3; ++d) {
-                exchange.start_dim(comm, cur, d, &team);
-                {
-                    trace::ScopedSpan span("inner_walls", "impl",
-                                           trace::Lane::Host);
-                    stencil_parallel(team, coeffs, cur, nxt,
-                                     inner_rows[static_cast<std::size_t>(d)]);
-                }
-                exchange.finish_dim(cur, d, &team);
-            }
-            {
-                // Finally the outer boundary points, then the wall copy-back.
-                trace::ScopedSpan span("outer_walls", "impl",
-                                       trace::Lane::Host);
-                stencil_parallel(team, coeffs, cur, nxt, outer_rows);
-                copy_parallel(team, nxt, cur, wall_rows);
-            }
-            // Synchronize the CUDA streams and land the new block boundary.
-            interior_stream.synchronize();
-            boundary_stream.synchronize();
-            {
-                trace::ScopedSpan span("unpack", "impl", trace::Lane::Host);
-                staging.unpack_outbound(cur);
-            }
-            d_cur.swap(d_nxt);
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        core::Field3 block_out(n);
-        interior_stream.memcpy_d2h(block_out.raw(), d_cur.buffer(), 0);
-        interior_stream.synchronize();
-        cur.copy_region_from(block_out, box.gpu_block());
-        write_block(global, cur, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("cpu_gpu_overlap", cfg);
 }
 
 }  // namespace advect::impl

@@ -103,10 +103,20 @@ void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
 void HaloExchange::finish_dim(core::Field3& f, int dim,
                               omp::ThreadTeam* team) {
     trace::ScopedSpan span(kFinishDim[dim], "impl", trace::Lane::Host);
+    wait_dim(dim);
+    unpack_dim(f, dim, team);
+}
+
+void HaloExchange::wait_dim(int dim) {
     const auto du = static_cast<std::size_t>(dim);
-    const auto& e = plan_.dims[du];
     rreq_[du][0].wait();
     rreq_[du][1].wait();
+}
+
+void HaloExchange::unpack_dim(core::Field3& f, int dim,
+                              omp::ThreadTeam* team) {
+    const auto du = static_cast<std::size_t>(dim);
+    const auto& e = plan_.dims[du];
     unpack_parallel(f, e.recv_low, rbuf_[du][0], team);
     unpack_parallel(f, e.recv_high, rbuf_[du][1], team);
 }

@@ -43,6 +43,13 @@ class HaloExchange {
     /// Complete both receives of one dimension and unpack into halos.
     void finish_dim(core::Field3& f, int dim,
                     advect::omp::ThreadTeam* team = nullptr);
+    /// First half of finish_dim: block until both of `dim`'s receives have
+    /// landed (the plan executor's Comm/Wait tasks).
+    void wait_dim(int dim);
+    /// Second half of finish_dim: unpack `dim`'s received faces into halos.
+    /// Call only after wait_dim(dim).
+    void unpack_dim(core::Field3& f, int dim,
+                    advect::omp::ThreadTeam* team = nullptr);
 
     /// Full bulk-synchronous exchange: post_recvs, then per dimension
     /// start + finish in order.

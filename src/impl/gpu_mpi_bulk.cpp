@@ -4,98 +4,17 @@
 /// halos are the only parts maintained; per step the CPU copies boundary
 /// buffers from the GPU, runs the serialized six-message exchange, copies
 /// halo buffers back, and issues kernels for the boundary slabs and the
-/// interior — all serialized on one stream (bulk synchronous).
+/// interior — all serialized on one stream (bulk synchronous). The step
+/// structure lives in src/plan/build_gpu_mpi_bulk.cpp; the shared harness
+/// executes it.
 
-#include <mutex>
-
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
-#include "impl/gpu_task.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_gpu_mpi_bulk(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-    DevicePool pool(cfg.gpu_props, decomp.nranks(), cfg.tasks_per_gpu, coeffs);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-        auto& device = pool.device_for_rank(rank);
-
-        core::Field3 mirror(n);  // boundary + halos maintained on the host
-        core::fill_initial(mirror, p.domain, p.wave, origin);
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-        auto stream = device.create_stream();
-
-        DeviceField d_cur(device, n);
-        DeviceField d_nxt(device, n);
-        GpuStaging staging(device, mpi_halo_regions(n),
-                           boundary_shell_regions(n));
-        stream.memcpy_h2d(d_cur.buffer(), 0, mirror.raw());
-        stream.synchronize();
-
-        const auto parts = core::partition_interior_boundary(n);
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            {
-                // CPU copies boundary buffers from the GPU...
-                trace::ScopedSpan span("stage_out", "impl", trace::Lane::Host);
-                staging.enqueue_d2h(stream, d_cur);
-                stream.synchronize();
-                staging.unpack_outbound(mirror);
-            }
-            // ...communicates the boundaries as in the CPU-only
-            // bulk-synchronous implementation...
-            exchange.exchange_all(comm, mirror, &team);
-            {
-                // ...copies halo buffers back to the GPU...
-                trace::ScopedSpan span("stage_in", "impl", trace::Lane::Host);
-                staging.enqueue_h2d(stream, mirror, d_cur);
-            }
-            {
-                // ...and makes kernel calls for the faces and interior.
-                trace::ScopedSpan span("launch", "impl", trace::Lane::Host);
-                for (const auto& slab : parts.boundary)
-                    launch_stencil(stream, device, d_cur, d_nxt, slab,
-                                   cfg.block_x, cfg.block_y);
-                launch_stencil(stream, device, d_cur, d_nxt, parts.interior,
-                               cfg.block_x, cfg.block_y);
-            }
-            stream.synchronize();
-            d_cur.swap(d_nxt);
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        core::Field3 out(n);
-        stream.memcpy_d2h(out.raw(), d_cur.buffer(), 0);
-        stream.synchronize();
-        write_block(global, out, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("gpu_mpi_bulk", cfg);
 }
 
 }  // namespace advect::impl

@@ -7,100 +7,16 @@
 /// values back from the GPU (feeding the next step's MPI). The interior
 /// computation thus overlaps MPI, both PCIe directions and — on devices
 /// with concurrent kernels — the boundary computation. The step ends by
-/// synchronizing the two streams.
+/// synchronizing the two streams. The step structure lives in
+/// src/plan/build_gpu_mpi_streams.cpp; the shared harness executes it.
 
-#include <mutex>
-
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
-#include "impl/gpu_task.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_gpu_mpi_streams(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-    DevicePool pool(cfg.gpu_props, decomp.nranks(), cfg.tasks_per_gpu, coeffs);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-        auto& device = pool.device_for_rank(rank);
-
-        core::Field3 mirror(n);
-        core::fill_initial(mirror, p.domain, p.wave, origin);
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-        auto interior_stream = device.create_stream();
-        auto boundary_stream = device.create_stream();
-
-        DeviceField d_cur(device, n);
-        DeviceField d_nxt(device, n);
-        GpuStaging staging(device, mpi_halo_regions(n),
-                           boundary_shell_regions(n));
-        interior_stream.memcpy_h2d(d_cur.buffer(), 0, mirror.raw());
-        interior_stream.synchronize();
-
-        const auto parts = core::partition_interior_boundary(n);
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            {
-                // Stream 1: interior points (no halo dependency).
-                trace::ScopedSpan span("launch_interior", "impl",
-                                       trace::Lane::Host);
-                launch_stencil(interior_stream, device, d_cur, d_nxt,
-                               parts.interior, cfg.block_x, cfg.block_y);
-            }
-            // CPU: MPI exchange with last step's staged boundary values.
-            exchange.exchange_all(comm, mirror, &team);
-            {
-                // Stream 2: halos in, boundary faces, new boundary out.
-                trace::ScopedSpan span("launch_boundary", "impl",
-                                       trace::Lane::Host);
-                staging.enqueue_h2d(boundary_stream, mirror, d_cur);
-                for (const auto& slab : parts.boundary)
-                    launch_stencil(boundary_stream, device, d_cur, d_nxt, slab,
-                                   cfg.block_x, cfg.block_y);
-                staging.enqueue_d2h(boundary_stream, d_nxt);
-            }
-            // End of step: synchronize the two streams.
-            interior_stream.synchronize();
-            boundary_stream.synchronize();
-            {
-                trace::ScopedSpan span("unpack", "impl", trace::Lane::Host);
-                staging.unpack_outbound(mirror);  // next step's MPI source
-            }
-            d_cur.swap(d_nxt);
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        core::Field3 out(n);
-        interior_stream.memcpy_d2h(out.raw(), d_cur.buffer(), 0);
-        interior_stream.synchronize();
-        write_block(global, out, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("gpu_mpi_streams", cfg);
 }
 
 }  // namespace advect::impl

@@ -4,47 +4,17 @@
 /// kernels take the role of the paper's in-kernel halo threads copying from
 /// the opposite boundary), and the time-step kernel flips its two state
 /// arguments to avoid a copy. The initial upload and final download are not
-/// timed — the paper's best-case scenario for GPU computation.
+/// timed — the paper's best-case scenario for GPU computation. The step
+/// structure lives in src/plan/build_gpu_resident.cpp; the shared harness
+/// executes it.
 
-#include "impl/cpu_kernels.hpp"
-#include "impl/device_field.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
 SolveResult solve_gpu_resident(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto n = p.domain.extents();
-
-    gpu::Device device(cfg.gpu_props);
-    upload_coefficients(device, p.coeffs());
-    auto stream = device.create_stream();
-
-    core::Field3 host(n);
-    core::fill_initial(host, p.domain, p.wave);
-
-    DeviceField cur(device, n);
-    DeviceField nxt(device, n);
-    stream.memcpy_h2d(cur.buffer(), 0, host.raw());
-
-    // "The CPU and GPU synchronize immediately before timer calls."
-    stream.synchronize();
-    const double t0 = now_seconds();
-    for (int s = 0; s < cfg.steps; ++s) {
-        trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-        for (int d = 0; d < 3; ++d) launch_periodic_halo(stream, cur, d);
-        launch_stencil(stream, device, cur, nxt,
-                       {{0, 0, 0}, {n.nx, n.ny, n.nz}}, cfg.block_x,
-                       cfg.block_y);
-        cur.swap(nxt);  // flip the kernel arguments instead of copying
-    }
-    stream.synchronize();
-    const double t1 = now_seconds();
-
-    stream.memcpy_d2h(host.raw(), cur.buffer(), 0);
-    stream.synchronize();
-    return finish_result(cfg, std::move(host), t1 - t0);
+    return run_plan_solver("gpu_resident", cfg);
 }
 
 }  // namespace advect::impl

@@ -27,19 +27,43 @@ GpuStaging::GpuStaging(gpu::Device& device, std::vector<core::Range3> inbound,
 void GpuStaging::enqueue_h2d(gpu::Stream& stream, const core::Field3& host,
                              DeviceField& dst) {
     if (in_count_ == 0) return;
-    for (std::size_t r = 0; r < inbound_.size(); ++r)
-        core::pack(host, inbound_[r],
-                   std::span<double>(h_in_).subspan(in_offsets_[r],
-                                                    inbound_[r].volume()));
-    stream.memcpy_h2d(d_in_, 0, h_in_);
-    for (std::size_t r = 0; r < inbound_.size(); ++r)
-        launch_unpack(stream, dst, inbound_[r], d_in_, in_offsets_[r]);
+    pack_inbound(host);
+    enqueue_h2d_copy(stream);
+    enqueue_unpack_kernels(stream, dst);
 }
 
 void GpuStaging::enqueue_d2h(gpu::Stream& stream, const DeviceField& src) {
     if (out_count_ == 0) return;
+    enqueue_pack_kernels(stream, src);
+    enqueue_d2h_copy(stream);
+}
+
+void GpuStaging::pack_inbound(const core::Field3& host) {
+    for (std::size_t r = 0; r < inbound_.size(); ++r)
+        core::pack(host, inbound_[r],
+                   std::span<double>(h_in_).subspan(in_offsets_[r],
+                                                    inbound_[r].volume()));
+}
+
+void GpuStaging::enqueue_h2d_copy(gpu::Stream& stream) {
+    if (in_count_ == 0) return;
+    stream.memcpy_h2d(d_in_, 0, h_in_);
+}
+
+void GpuStaging::enqueue_unpack_kernels(gpu::Stream& stream,
+                                        DeviceField& dst) {
+    for (std::size_t r = 0; r < inbound_.size(); ++r)
+        launch_unpack(stream, dst, inbound_[r], d_in_, in_offsets_[r]);
+}
+
+void GpuStaging::enqueue_pack_kernels(gpu::Stream& stream,
+                                      const DeviceField& src) {
     for (std::size_t r = 0; r < outbound_.size(); ++r)
         launch_pack(stream, src, outbound_[r], d_out_, out_offsets_[r]);
+}
+
+void GpuStaging::enqueue_d2h_copy(gpu::Stream& stream) {
+    if (out_count_ == 0) return;
     stream.memcpy_d2h(h_out_, d_out_, 0);
 }
 

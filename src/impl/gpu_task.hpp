@@ -40,6 +40,21 @@ class GpuStaging {
     /// has been synchronized.
     void enqueue_d2h(gpu::Stream& stream, const DeviceField& src);
 
+    // The composites above decompose into the steps below, which the plan
+    // executor issues as individual tasks (one per plan task, so the
+    // executed trace is exactly as fine-grained as the plan).
+
+    /// Pack `host`'s inbound regions into the H2D staging buffer.
+    void pack_inbound(const core::Field3& host);
+    /// Enqueue the single H2D transfer of the packed staging buffer.
+    void enqueue_h2d_copy(gpu::Stream& stream);
+    /// Enqueue the per-region unpack kernels writing into `dst`.
+    void enqueue_unpack_kernels(gpu::Stream& stream, DeviceField& dst);
+    /// Enqueue the per-region pack kernels reading `src`.
+    void enqueue_pack_kernels(gpu::Stream& stream, const DeviceField& src);
+    /// Enqueue the single D2H transfer into the host staging buffer.
+    void enqueue_d2h_copy(gpu::Stream& stream);
+
     /// Scatter the D2H staging buffer into `host`'s outbound regions.
     void unpack_outbound(core::Field3& host) const;
 

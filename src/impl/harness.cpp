@@ -1,0 +1,216 @@
+#include "impl/harness.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/box_partition.hpp"
+#include "core/decomposition.hpp"
+#include "impl/cpu_kernels.hpp"
+#include "impl/device_field.hpp"
+#include "impl/exchange.hpp"
+#include "impl/gpu_task.hpp"
+#include "impl/plan_executor.hpp"
+#include "plan/builders.hpp"
+
+namespace advect::impl {
+
+namespace omp = advect::omp;
+
+namespace {
+
+/// §IV-A: single task, host state only.
+SolveResult run_single_host(const plan::StepPlan& plan,
+                            const SolverConfig& cfg) {
+    const auto& p = cfg.problem;
+    const auto coeffs = p.coeffs();
+
+    core::Field3 cur(p.domain.extents());
+    core::Field3 nxt(p.domain.extents());
+    core::fill_initial(cur, p.domain, p.wave);
+
+    omp::ThreadTeam team(cfg.threads_per_task);
+
+    ExecContext ctx;
+    ctx.cfg = &cfg;
+    ctx.coeffs = &coeffs;
+    ctx.cur = &cur;
+    ctx.nxt = &nxt;
+    ctx.team = &team;
+    PlanExecutor exec(plan, ctx);
+
+    const double t0 = now_seconds();
+    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    const double t1 = now_seconds();
+
+    return finish_result(cfg, std::move(cur), t1 - t0);
+}
+
+/// §IV-E: single device, problem resident in device memory; the initial
+/// upload and final download are not timed.
+SolveResult run_single_resident(const plan::StepPlan& plan,
+                                const SolverConfig& cfg) {
+    const auto& p = cfg.problem;
+    const auto n = p.domain.extents();
+
+    gpu::Device device(cfg.gpu_props);
+    upload_coefficients(device, p.coeffs());
+    std::vector<gpu::Stream> streams;
+    for (int k = 0; k < plan.streams; ++k)
+        streams.push_back(device.create_stream());
+
+    core::Field3 host(n);
+    core::fill_initial(host, p.domain, p.wave);
+
+    DeviceField d_cur(device, n);
+    DeviceField d_nxt(device, n);
+    streams[0].memcpy_h2d(d_cur.buffer(), 0, host.raw());
+
+    ExecContext ctx;
+    ctx.cfg = &cfg;
+    ctx.device = &device;
+    ctx.streams = &streams;
+    ctx.d_cur = &d_cur;
+    ctx.d_nxt = &d_nxt;
+    PlanExecutor exec(plan, ctx);
+
+    // "The CPU and GPU synchronize immediately before timer calls."
+    streams[0].synchronize();
+    const double t0 = now_seconds();
+    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    streams[0].synchronize();
+    const double t1 = now_seconds();
+
+    streams[0].memcpy_d2h(host.raw(), d_cur.buffer(), 0);
+    streams[0].synchronize();
+    return finish_result(cfg, std::move(host), t1 - t0);
+}
+
+}  // namespace
+
+SolveResult run_plan_solver(const std::string& impl_id,
+                            const SolverConfig& cfg) {
+    const auto& p = cfg.problem;
+
+    // The single-task implementations (§IV-A/E) ignore the decomposition:
+    // probe the plan on the full domain and run it directly.
+    const plan::StepPlan probe = plan::build_step_plan(
+        impl_id, {p.domain.extents(), cfg.box_thickness});
+    if (!probe.uses_comm)
+        return probe.resident ? run_single_resident(probe, cfg)
+                              : run_single_host(probe, cfg);
+
+    const auto decomp = core::make_decomposition(p.domain.extents(),
+                                                 cfg.ntasks);
+    // Build every rank's plan up front, on the calling thread: a geometry
+    // the builder rejects (e.g. a box_thickness leaving rank r with an empty
+    // GPU block) must throw here, not on a rank thread while the other ranks
+    // sit in a barrier.
+    std::vector<plan::StepPlan> plans;
+    plans.reserve(static_cast<std::size_t>(decomp.nranks()));
+    for (int r = 0; r < decomp.nranks(); ++r)
+        plans.push_back(plan::build_step_plan(
+            impl_id, {decomp.local_extents(r), cfg.box_thickness}));
+
+    const auto coeffs = p.coeffs();
+    std::optional<DevicePool> pool;
+    if (plans[0].uses_gpu)
+        pool.emplace(cfg.gpu_props, decomp.nranks(), cfg.tasks_per_gpu,
+                     coeffs);
+
+    core::Field3 global(p.domain.extents());
+    double wall = 0.0;
+
+    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
+        const int rank = comm.rank();
+        const auto n = decomp.local_extents(rank);
+        const auto origin = decomp.origin(rank);
+        const plan::StepPlan& plan = plans[static_cast<std::size_t>(rank)];
+
+        // §IV-F/G maintain only a host shell mirror (`cur`), no second host
+        // field; the CPU implementations keep the full cur/nxt pair.
+        core::Field3 cur(n);
+        core::fill_initial(cur, p.domain, p.wave, origin);
+        std::optional<core::Field3> nxt;
+        if (!plan.mirror_only) nxt.emplace(n);
+
+        omp::ThreadTeam team(cfg.threads_per_task);
+        HaloExchange exchange(decomp, rank);
+
+        ExecContext ctx;
+        ctx.cfg = &cfg;
+        ctx.coeffs = &coeffs;
+        ctx.cur = &cur;
+        ctx.nxt = nxt ? &*nxt : nullptr;
+        ctx.team = &team;
+        ctx.comm = &comm;
+        ctx.exchange = &exchange;
+
+        std::vector<gpu::Stream> streams;
+        std::optional<core::BoxPartition> box;
+        std::optional<DeviceField> d_cur;
+        std::optional<DeviceField> d_nxt;
+        std::optional<GpuStaging> staging;
+        if (plan.uses_gpu) {
+            auto& device = pool->device_for_rank(rank);
+            for (int k = 0; k < plan.streams; ++k)
+                streams.push_back(device.create_stream());
+            d_cur.emplace(device, n);
+            d_nxt.emplace(device, n);
+            if (plan.staging == plan::StagingKind::BoxShell) {
+                box.emplace(n, cfg.box_thickness);
+                staging.emplace(device, box->gpu_halo_shell(),
+                                box->block_boundary_shell());
+            } else {
+                staging.emplace(device, mpi_halo_regions(n),
+                                boundary_shell_regions(n));
+            }
+            streams[0].memcpy_h2d(d_cur->buffer(), 0, cur.raw());
+            streams[0].synchronize();
+
+            ctx.device = &device;
+            ctx.streams = &streams;
+            ctx.d_cur = &*d_cur;
+            ctx.d_nxt = &*d_nxt;
+            ctx.staging = &*staging;
+        }
+
+        PlanExecutor exec(plan, ctx);
+
+        comm.barrier();  // "a barrier immediately before measuring the start"
+        const double t0 = now_seconds();
+        for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+        comm.barrier();
+        const double t1 = now_seconds();
+        // Every rank computes the same reduced wall time; rank 0's write is
+        // ordered before run_ranks returns, so no lock is needed.
+        const double rank_wall = comm.allreduce_max(t1 - t0);
+
+        switch (plan.finalize) {
+            case plan::Finalize::HostState:
+                write_block(global, cur, origin);
+                break;
+            case plan::Finalize::DeviceState: {
+                core::Field3 out(n);
+                streams[0].memcpy_d2h(out.raw(), d_cur->buffer(), 0);
+                streams[0].synchronize();
+                write_block(global, out, origin);
+                break;
+            }
+            case plan::Finalize::BlockMerge: {
+                // Assemble: walls from the host state, block from the device.
+                core::Field3 block_out(n);
+                streams[0].memcpy_d2h(block_out.raw(), d_cur->buffer(), 0);
+                streams[0].synchronize();
+                cur.copy_region_from(block_out, box->gpu_block());
+                write_block(global, cur, origin);
+                break;
+            }
+        }
+        if (rank == 0) wall = rank_wall;
+    });
+
+    return finish_result(cfg, std::move(global), wall);
+}
+
+}  // namespace advect::impl

@@ -1,0 +1,24 @@
+#pragma once
+/// \file harness.hpp
+/// The shared solver harness: everything the nine §IV drivers had in common
+/// — decomposition, rank loop, field and substrate setup, timing barriers,
+/// wall-clock reduction, final-state assembly — owned once. A driver is now
+/// one line: build the implementation's step plan and hand it to this
+/// harness, which runs it through the PlanExecutor.
+
+#include <string>
+
+#include "impl/config.hpp"
+
+namespace advect::impl {
+
+/// Solve `cfg` with implementation `impl_id` by building its step plan
+/// (plan::build_step_plan) on every rank's local extents and executing it.
+/// Wall-clock is the allreduce-max over ranks of each rank's barrier-to-
+/// barrier loop time. Geometry the plan builder rejects (e.g. a
+/// box_thickness leaving no GPU block) throws std::invalid_argument on the
+/// calling thread, before any rank thread starts.
+[[nodiscard]] SolveResult run_plan_solver(const std::string& impl_id,
+                                          const SolverConfig& cfg);
+
+}  // namespace advect::impl

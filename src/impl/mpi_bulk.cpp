@@ -2,66 +2,16 @@
 /// §IV-B: bulk-synchronous MPI. Each rank owns a subdomain of the balanced
 /// 3-D decomposition. A time step performs all of Step 1 (the serialized
 /// six-message halo exchange) before the purely local Steps 2 and 3. A
-/// barrier brackets the timed loop, as in the paper.
+/// barrier brackets the timed loop, as in the paper. The step structure
+/// lives in src/plan/build_mpi_bulk.cpp; the shared harness executes it.
 
-#include <mutex>
-
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_mpi_bulk(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-
-        core::Field3 cur(n);
-        core::Field3 nxt(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-        const core::RowSpace interior({cur.interior()});
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-
-        comm.barrier();  // "a barrier immediately before measuring the start"
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            exchange.exchange_all(comm, cur, &team);            // Step 1
-            {
-                trace::ScopedSpan span("interior", "impl", trace::Lane::Host);
-                stencil_parallel(team, coeffs, cur, nxt, interior);  // Step 2
-            }
-            {
-                trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
-                copy_parallel(team, nxt, cur, interior);        // Step 3
-            }
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        write_block(global, cur, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("mpi_bulk", cfg);
 }
 
 }  // namespace advect::impl

@@ -3,88 +3,17 @@
 /// boundary points (those touching halos) and interior points; the interior
 /// is split into thirds along z. Each third executes between the
 /// nonblocking initiation of one dimension's communication and its
-/// completion; boundary points are computed after all communication.
+/// completion; boundary points are computed after all communication. The
+/// step structure lives in src/plan/build_mpi_nonblocking.cpp; the shared
+/// harness executes it.
 
-#include <mutex>
-
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_mpi_nonblocking(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-
-        core::Field3 cur(n);
-        core::Field3 nxt(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-
-        const auto parts = core::partition_interior_boundary(n);
-        const auto thirds = core::split_z(parts.interior, 3);
-        std::array<core::RowSpace, 3> interior_third;
-        for (std::size_t t = 0; t < thirds.size(); ++t)
-            interior_third[t] = core::RowSpace({thirds[t]});
-        const core::RowSpace boundary(
-            {parts.boundary.begin(), parts.boundary.end()});
-        const core::RowSpace all({cur.interior()});
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            exchange.post_recvs(comm);
-            for (int d = 0; d < 3; ++d) {
-                exchange.start_dim(comm, cur, d, &team);
-                // One interior third overlaps this dimension's messages.
-                if (static_cast<std::size_t>(d) < thirds.size()) {
-                    trace::ScopedSpan span("interior", "impl",
-                                           trace::Lane::Host);
-                    stencil_parallel(team, coeffs, cur, nxt,
-                                     interior_third[static_cast<std::size_t>(d)]);
-                }
-                exchange.finish_dim(cur, d, &team);
-            }
-            // "The threads compute the boundary points after the
-            // communication."
-            {
-                trace::ScopedSpan span("boundary", "impl", trace::Lane::Host);
-                stencil_parallel(team, coeffs, cur, nxt, boundary);
-            }
-            {
-                trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
-                copy_parallel(team, nxt, cur, all);  // Step 3
-            }
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        write_block(global, cur, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("mpi_nonblocking", cfg);
 }
 
 }  // namespace advect::impl

@@ -5,97 +5,16 @@
 /// interior points immediately under schedule(guided) — chunks proportional
 /// to the remaining work over the thread count, so the late-joining master
 /// still gets useful work. A barrier ensures communication is complete
-/// before the boundary points are computed.
+/// before the boundary points are computed. The step structure lives in
+/// src/plan/build_mpi_thread_overlap.cpp; the shared harness executes it.
 
-#include <mutex>
-
-#include "core/stencil.hpp"
-#include "impl/cpu_kernels.hpp"
-#include "impl/exchange.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_mpi_thread_overlap(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-    const auto decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
-
-    core::Field3 global(p.domain.extents());
-    double wall = 0.0;
-    std::mutex wall_mu;
-
-    msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
-        const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
-
-        core::Field3 cur(n);
-        core::Field3 nxt(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-
-        const auto parts = core::partition_interior_boundary(n);
-        const core::RowSpace interior({parts.interior});
-        const core::RowSpace boundary(
-            {parts.boundary.begin(), parts.boundary.end()});
-        const core::RowSpace all({cur.interior()});
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-
-        comm.barrier();
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) {
-            trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-            omp::LoopScheduler interior_sched(0, interior.size(),
-                                              omp::Schedule::Guided,
-                                              team.size());
-            omp::LoopScheduler boundary_sched(0, boundary.size(),
-                                              omp::Schedule::Static,
-                                              team.size());
-            omp::LoopScheduler copy_sched(0, all.size(), omp::Schedule::Static,
-                                          team.size());
-            team.parallel([&](int id) {
-                if (id == 0) {
-                    // !$omp master: serial communication, then join in.
-                    trace::ScopedSpan span("master_exchange", "impl",
-                                           trace::Lane::Host);
-                    exchange.exchange_all(comm, cur, /*team=*/nullptr);
-                }
-                omp::drain(interior_sched, id,
-                           [&](std::int64_t lo, std::int64_t hi) {
-                               core::apply_stencil_rows(coeffs, cur, nxt,
-                                                        interior, lo, hi);
-                           });
-                // "An OpenMP barrier ensures that the master thread completes
-                // communication before computation begins on the boundary."
-                team.barrier();
-                omp::drain(boundary_sched, id,
-                           [&](std::int64_t lo, std::int64_t hi) {
-                               core::apply_stencil_rows(coeffs, cur, nxt,
-                                                        boundary, lo, hi);
-                           });
-                team.barrier();
-                omp::drain(copy_sched, id,
-                           [&](std::int64_t lo, std::int64_t hi) {
-                               core::copy_rows(nxt, cur, all, lo, hi);
-                           });
-            });
-        }
-        comm.barrier();
-        const double t1 = now_seconds();
-
-        write_block(global, cur, origin);
-        if (rank == 0) {
-            std::lock_guard lock(wall_mu);
-            wall = t1 - t0;
-        }
-    });
-
-    return finish_result(cfg, std::move(global), wall);
+    return run_plan_solver("mpi_thread_overlap", cfg);
 }
 
 }  // namespace advect::impl

@@ -1,0 +1,222 @@
+#include "impl/plan_executor.hpp"
+
+#include <memory>
+
+#include "impl/cpu_kernels.hpp"
+#include "impl/device_field.hpp"
+#include "omp/parallel_for.hpp"
+#include "omp/schedule.hpp"
+#include "trace/span.hpp"
+
+namespace advect::impl {
+
+namespace omp = advect::omp;
+
+namespace {
+
+omp::Schedule to_omp(plan::Sched s) {
+    return s == plan::Sched::Guided ? omp::Schedule::Guided
+                                    : omp::Schedule::Static;
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const plan::StepPlan& plan, ExecContext ctx)
+    : plan_(&plan), ctx_(ctx) {
+    rows_.resize(plan.tasks.size());
+    for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+        const auto& t = plan.tasks[i];
+        if (t.op != plan::Op::Stencil && t.op != plan::Op::Copy) continue;
+        std::vector<core::Range3> regs;
+        for (const auto& r : t.payload.regions)
+            if (!r.empty()) regs.push_back(r);
+        // All-empty region lists (e.g. a degenerate interior third in
+        // §IV-C) leave a zero-row space the dispatcher skips, exactly as the
+        // hand-written drivers skipped absent slabs.
+        if (!regs.empty()) rows_[i] = core::RowSpace(std::move(regs));
+        if (plan.mode == plan::Mode::TeamStages) stages_.push_back(i);
+    }
+    if (plan.mode == plan::Mode::TeamStages) {
+        for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+            if (plan.tasks[i].op == plan::Op::MasterExchange)
+                master_task_ = static_cast<int>(i);
+    }
+}
+
+void PlanExecutor::run_step() {
+    trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
+    if (plan_->mode == plan::Mode::TeamStages)
+        run_team_stages();
+    else
+        run_host_issue();
+}
+
+void PlanExecutor::run_host_issue() {
+    const bool tracing = trace::enabled();
+    for (std::size_t i = 0; i < plan_->tasks.size(); ++i) {
+        const auto& t = plan_->tasks[i];
+        const double t0 = tracing ? trace::now() : 0.0;
+        run_task(t, rows_[i]);
+        if (tracing) {
+            const bool on_device = t.lane == trace::Lane::Gpu ||
+                                   t.lane == trace::Lane::Pcie;
+            trace::record(t.name, "plan", t.lane, t0, trace::now(),
+                          trace::current_rank(), /*thread=*/-1,
+                          on_device ? t.payload.stream : -1);
+        }
+    }
+}
+
+void PlanExecutor::run_team_stages() {
+    // §IV-D: one parallel region; the master runs the serial exchange while
+    // the workers start on guided interior chunks, then staged drains with
+    // barriers between stages. Schedulers are per step (single-use).
+    const bool tracing = trace::enabled();
+    std::vector<std::unique_ptr<omp::LoopScheduler>> scheds;
+    scheds.reserve(stages_.size());
+    for (const std::size_t si : stages_)
+        scheds.push_back(std::make_unique<omp::LoopScheduler>(
+            0, rows_[si].size(), to_omp(plan_->tasks[si].payload.schedule),
+            ctx_.team->size()));
+
+    const std::size_t nstages = stages_.size();
+    std::vector<double> stage_end(nstages, 0.0);
+    double master0 = 0.0;
+    double master1 = 0.0;
+    const double region0 = tracing ? trace::now() : 0.0;
+
+    ctx_.team->parallel([&](int id) {
+        if (id == 0 && master_task_ >= 0) {
+            // !$omp master: serial communication, then join in.
+            if (tracing) master0 = trace::now();
+            ctx_.exchange->exchange_all(*ctx_.comm, *ctx_.cur,
+                                        /*team=*/nullptr);
+            if (tracing) master1 = trace::now();
+        }
+        for (std::size_t s = 0; s < nstages; ++s) {
+            const plan::Task& t = plan_->tasks[stages_[s]];
+            const core::RowSpace& rows = rows_[stages_[s]];
+            if (t.op == plan::Op::Stencil) {
+                omp::drain(*scheds[s], id,
+                           [&](std::int64_t lo, std::int64_t hi) {
+                               core::apply_stencil_rows(*ctx_.coeffs,
+                                                        *ctx_.cur, *ctx_.nxt,
+                                                        rows, lo, hi);
+                           });
+            } else {
+                omp::drain(*scheds[s], id,
+                           [&](std::int64_t lo, std::int64_t hi) {
+                               core::copy_rows(*ctx_.nxt, *ctx_.cur, rows, lo,
+                                               hi);
+                           });
+            }
+            // "An OpenMP barrier ensures that the master thread completes
+            // communication before computation begins on the boundary."
+            if (s + 1 < nstages) {
+                ctx_.team->barrier();
+                if (tracing && id == 0) stage_end[s] = trace::now();
+            }
+        }
+    });
+
+    if (!tracing) return;
+    stage_end[nstages - 1] = trace::now();
+    const int rank = trace::current_rank();
+    if (master_task_ >= 0) {
+        const plan::Task& m = plan_->tasks[static_cast<std::size_t>(
+            master_task_)];
+        trace::record(m.name, "plan", m.lane, master0, master1, rank);
+    }
+    // Stage spans cover the whole team's work: stage s runs from the end of
+    // the barrier that closed stage s-1 (region entry for the first stage)
+    // to the end of its own barrier.
+    double start = region0;
+    for (std::size_t s = 0; s < nstages; ++s) {
+        const plan::Task& t = plan_->tasks[stages_[s]];
+        trace::record(t.name, "plan", t.lane, start, stage_end[s], rank);
+        start = stage_end[s];
+    }
+}
+
+gpu::Stream& PlanExecutor::stream(int index) {
+    return (*ctx_.streams)[static_cast<std::size_t>(index)];
+}
+
+void PlanExecutor::run_task(const plan::Task& task,
+                            const core::RowSpace& rows) {
+    const plan::Payload& p = task.payload;
+    switch (task.op) {
+        case plan::Op::PostRecvs:
+            ctx_.exchange->post_recvs(*ctx_.comm);
+            break;
+        case plan::Op::PackSend:
+            ctx_.exchange->start_dim(*ctx_.comm, *ctx_.cur, p.dim, ctx_.team);
+            break;
+        case plan::Op::Comm:
+        case plan::Op::Wait:
+            // A bulk Comm task blocks the host on the message flight; a Wait
+            // task is the overlap variants' CPU-driven completion. Both are
+            // the same substrate call; they differ in the lowered model.
+            ctx_.exchange->wait_dim(p.dim);
+            break;
+        case plan::Op::CommDma:
+            // NIC progress happens inside the message runtime; the task
+            // exists for the model and appears as a zero-length marker span.
+            break;
+        case plan::Op::Unpack:
+            ctx_.exchange->unpack_dim(*ctx_.cur, p.dim, ctx_.team);
+            break;
+        case plan::Op::MasterExchange:
+            // Only meaningful inside the TeamStages parallel region.
+            break;
+        case plan::Op::HaloFill:
+            halo_fill_parallel(*ctx_.team, *ctx_.cur);
+            break;
+        case plan::Op::Stencil:
+            if (rows.size() > 0)
+                stencil_parallel(*ctx_.team, *ctx_.coeffs, *ctx_.cur,
+                                 *ctx_.nxt, rows, to_omp(p.schedule));
+            break;
+        case plan::Op::Copy:
+            copy_parallel(*ctx_.team, *ctx_.nxt, *ctx_.cur, rows);
+            break;
+        case plan::Op::HostPack:
+            ctx_.staging->pack_inbound(*ctx_.cur);
+            break;
+        case plan::Op::HostUnpack:
+            if (p.synced) stream(p.stream).synchronize();
+            ctx_.staging->unpack_outbound(*ctx_.cur);
+            break;
+        case plan::Op::CopyH2D:
+            ctx_.staging->enqueue_h2d_copy(stream(p.stream));
+            break;
+        case plan::Op::CopyD2H:
+            ctx_.staging->enqueue_d2h_copy(stream(p.stream));
+            break;
+        case plan::Op::KernelPack:
+            ctx_.staging->enqueue_pack_kernels(
+                stream(p.stream), p.src_next ? *ctx_.d_nxt : *ctx_.d_cur);
+            break;
+        case plan::Op::KernelUnpack:
+            ctx_.staging->enqueue_unpack_kernels(stream(p.stream),
+                                                 *ctx_.d_cur);
+            break;
+        case plan::Op::KernelHalo:
+            launch_periodic_halo(stream(p.stream), *ctx_.d_cur, p.dim);
+            break;
+        case plan::Op::KernelStencil:
+        case plan::Op::KernelFace:
+            launch_stencil(stream(p.stream), *ctx_.device, *ctx_.d_cur,
+                           *ctx_.d_nxt, p.regions[0], ctx_.cfg->block_x,
+                           ctx_.cfg->block_y);
+            break;
+        case plan::Op::Sync:
+            for (int k = 0; k < p.sync_count; ++k) stream(k).synchronize();
+            break;
+        case plan::Op::Swap:
+            ctx_.d_cur->swap(*ctx_.d_nxt);
+            break;
+    }
+}
+
+}  // namespace advect::impl

@@ -1,0 +1,65 @@
+#pragma once
+/// \file plan_executor.hpp
+/// Executes a plan::StepPlan over the real msg/omp/gpu substrates: one
+/// substrate call per plan task, in the plan's issue order. This is consumer
+/// (1) of the step-plan IR (docs/ARCHITECTURE.md) — the nine §IV drivers
+/// build their plan and loop run_step(); the imperative step bodies they
+/// used to contain live here, dispatched on Op.
+///
+/// When tracing is enabled, every executed task records one span in
+/// category "plan", named after the task and stamped with the task's
+/// resource lane — the executed twin of the DES-lowered schedule, which the
+/// parity tests compare structurally.
+
+#include <vector>
+
+#include "core/rows.hpp"
+#include "impl/config.hpp"
+#include "impl/exchange.hpp"
+#include "impl/gpu_task.hpp"
+#include "msg/comm.hpp"
+#include "omp/thread_team.hpp"
+#include "plan/ir.hpp"
+
+namespace advect::impl {
+
+/// The runtime objects a plan's tasks operate on. Members a plan does not
+/// need (per its substrate flags) stay null.
+struct ExecContext {
+    const SolverConfig* cfg = nullptr;
+    const core::StencilCoeffs* coeffs = nullptr;
+    core::Field3* cur = nullptr;  ///< current host state (the mirror in F/G)
+    core::Field3* nxt = nullptr;  ///< new host state (unused by E/F/G)
+    advect::omp::ThreadTeam* team = nullptr;
+    msg::Communicator* comm = nullptr;
+    HaloExchange* exchange = nullptr;
+    gpu::Device* device = nullptr;
+    std::vector<gpu::Stream>* streams = nullptr;
+    DeviceField* d_cur = nullptr;
+    DeviceField* d_nxt = nullptr;
+    GpuStaging* staging = nullptr;
+};
+
+class PlanExecutor {
+  public:
+    /// Prebuilds per-task row spaces (outside the timed loop, exactly as the
+    /// hand-written drivers constructed their RowSpaces up front).
+    PlanExecutor(const plan::StepPlan& plan, ExecContext ctx);
+
+    /// Execute one time step.
+    void run_step();
+
+  private:
+    void run_host_issue();
+    void run_team_stages();
+    void run_task(const plan::Task& task, const core::RowSpace& rows);
+    [[nodiscard]] gpu::Stream& stream(int index);
+
+    const plan::StepPlan* plan_;
+    ExecContext ctx_;
+    std::vector<core::RowSpace> rows_;  ///< per task; empty where unused
+    std::vector<std::size_t> stages_;   ///< TeamStages: Stencil/Copy tasks
+    int master_task_ = -1;              ///< TeamStages: MasterExchange task
+};
+
+}  // namespace advect::impl

@@ -5,6 +5,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "impl/config.hpp"
 
@@ -41,9 +42,9 @@ struct Implementation {
     bool uses_mpi = false;
     bool uses_gpu = false;
     SolveResult (*solve)(const SolverConfig&) = nullptr;
-    /// Source file implementing it (relative to the repo root), used by the
-    /// Fig. 2 lines-of-code bench.
-    std::string source_file;
+    /// Source files implementing it (relative to the repo root): the driver
+    /// and its step-plan builder. Used by the Fig. 2 lines-of-code bench.
+    std::vector<std::string> source_files;
 };
 
 /// All nine implementations in paper order A..I.

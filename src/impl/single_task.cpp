@@ -3,45 +3,16 @@
 ///   1. copy periodic boundaries into halos (doubly nested loops),
 ///   2. compute the new state with Equation 2 (triply nested, collapse(2)),
 ///   3. copy the new state to the current state (triply nested, collapse(2)).
+/// The step structure lives in src/plan/build_single_task.cpp; the shared
+/// harness executes it.
 
-#include "impl/cpu_kernels.hpp"
+#include "impl/harness.hpp"
 #include "impl/registry.hpp"
-#include "trace/span.hpp"
 
 namespace advect::impl {
 
-namespace omp = advect::omp;
-
 SolveResult solve_single_task(const SolverConfig& cfg) {
-    const auto& p = cfg.problem;
-    const auto coeffs = p.coeffs();
-
-    core::Field3 cur(p.domain.extents());
-    core::Field3 nxt(p.domain.extents());
-    core::fill_initial(cur, p.domain, p.wave);
-    const core::RowSpace interior({cur.interior()});
-
-    omp::ThreadTeam team(cfg.threads_per_task);
-
-    const double t0 = now_seconds();
-    for (int s = 0; s < cfg.steps; ++s) {
-        trace::ScopedSpan step_span("step", "impl", trace::Lane::Host);
-        {
-            trace::ScopedSpan span("halo_fill", "impl", trace::Lane::Host);
-            halo_fill_parallel(team, cur);                      // Step 1
-        }
-        {
-            trace::ScopedSpan span("interior", "impl", trace::Lane::Host);
-            stencil_parallel(team, coeffs, cur, nxt, interior); // Step 2
-        }
-        {
-            trace::ScopedSpan span("copy", "impl", trace::Lane::Host);
-            copy_parallel(team, nxt, cur, interior);            // Step 3
-        }
-    }
-    const double t1 = now_seconds();
-
-    return finish_result(cfg, std::move(cur), t1 - t0);
+    return run_plan_solver("single_task", cfg);
 }
 
 }  // namespace advect::impl

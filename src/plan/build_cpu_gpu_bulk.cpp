@@ -1,0 +1,95 @@
+#include "plan/builders.hpp"
+
+#include "core/box_partition.hpp"
+
+namespace advect::plan {
+
+using namespace detail;
+
+/// §IV-H — CPU+GPU split, bulk coupling: the GPU computes the interior block
+/// while the CPUs compute the enclosing wall box, but within a step the
+/// staging traffic, the MPI exchange, and both computations are serialized
+/// against each other (the GPU block may only start once its halo upload and
+/// the MPI exchange have landed).
+StepPlan build_cpu_gpu_bulk(const BuildParams& p) {
+    Writer w;
+    w.plan.impl_id = "cpu_gpu_bulk";
+    w.plan.uses_comm = true;
+    w.plan.uses_gpu = true;
+    w.plan.streams = 1;
+    w.plan.staging = StagingKind::BoxShell;
+    w.plan.finalize = Finalize::BlockMerge;
+
+    const core::BoxPartition box(p.local, p.box_thickness);
+    const std::size_t in_bytes =
+        points_of(box.gpu_halo_shell()) * sizeof(double);
+    const std::size_t out_bytes =
+        points_of(box.block_boundary_shell()) * sizeof(double);
+
+    std::vector<core::Range3> wall_regions;
+    for (const core::Wall& wall : box.cpu_walls())
+        wall_regions.push_back(wall.whole);
+
+    Payload pk;
+    pk.bytes = out_bytes;
+    const int pack_k =
+        w.add("pack_kernel", Op::KernelPack, trace::Lane::Gpu, {}, pk);
+
+    Payload d2h;
+    d2h.bytes = out_bytes;
+    const int down =
+        w.add("d2h", Op::CopyD2H, trace::Lane::Pcie, {pack_k}, d2h);
+
+    Payload uh;
+    uh.bytes = out_bytes;
+    uh.synced = true;
+    const int unpack_h =
+        w.add("unpack_host", Op::HostUnpack, trace::Lane::Cpu, {down}, uh);
+
+    Payload ph;
+    ph.bytes = in_bytes;
+    const int pack_h =
+        w.add("pack_host", Op::HostPack, trace::Lane::Cpu, {unpack_h}, ph);
+
+    Payload h2d;
+    h2d.bytes = in_bytes;
+    const int up =
+        w.add("h2d", Op::CopyH2D, trace::Lane::Pcie, {pack_h}, h2d);
+
+    Payload uk;
+    uk.bytes = in_bytes;
+    const int unpack_k =
+        w.add("unpack_kernel", Op::KernelUnpack, trace::Lane::Gpu, {up}, uk);
+
+    const int ex = add_bulk_exchange(w, p.local, {pack_h});
+
+    Payload blk;
+    blk.regions = {box.gpu_block()};
+    blk.points = box.gpu_points();
+    const int block = w.add("block", Op::KernelStencil, trace::Lane::Gpu,
+                            {unpack_k, ex}, blk);
+
+    Payload wl;
+    wl.regions = wall_regions;
+    wl.points = box.cpu_points();
+    wl.boundary_eff = true;
+    const int walls =
+        w.add("walls", Op::Stencil, trace::Lane::Cpu, {ex}, wl);
+
+    Payload cw;
+    cw.regions = wall_regions;
+    cw.points = box.cpu_points();
+    const int copy_walls =
+        w.add("copy_walls", Op::Copy, trace::Lane::Cpu, {walls}, cw);
+
+    Payload sy;
+    sy.sync_count = 1;
+    const int sync =
+        w.add("sync", Op::Sync, trace::Lane::Cpu, {block, copy_walls}, sy);
+
+    w.add("swap", Op::Swap, trace::Lane::Host, {sync});
+
+    return std::move(w).finish();
+}
+
+}  // namespace advect::plan

@@ -1,0 +1,86 @@
+#include "plan/builders.hpp"
+
+#include "core/stencil.hpp"
+
+namespace advect::plan {
+
+using namespace detail;
+
+/// §IV-F — GPU with bulk MPI: each step downloads the boundary shell,
+/// unpacks it into the host mirror, runs the whole bulk exchange, uploads
+/// the refreshed halos, then runs face kernels and the interior kernel.
+/// Everything is serialized; the step is one long chain.
+StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
+    Writer w;
+    w.plan.impl_id = "gpu_mpi_bulk";
+    w.plan.uses_comm = true;
+    w.plan.uses_gpu = true;
+    w.plan.mirror_only = true;
+    w.plan.streams = 1;
+    w.plan.staging = StagingKind::MpiHalo;
+    w.plan.finalize = Finalize::DeviceState;
+
+    const core::InteriorBoundary parts =
+        core::partition_interior_boundary(p.local);
+    const std::size_t in_bytes = mpi_halo_bytes(p.local);
+    const std::size_t out_bytes = points_of(parts.boundary) * sizeof(double);
+
+    Payload pk;
+    pk.bytes = out_bytes;
+    const int pack_k =
+        w.add("pack_kernel", Op::KernelPack, trace::Lane::Gpu, {}, pk);
+
+    Payload d2h;
+    d2h.bytes = out_bytes;
+    const int down =
+        w.add("d2h", Op::CopyD2H, trace::Lane::Pcie, {pack_k}, d2h);
+
+    Payload uh;
+    uh.bytes = out_bytes;
+    uh.synced = true;  // host blocks on the stream before scattering
+    const int unpack_h =
+        w.add("unpack_host", Op::HostUnpack, trace::Lane::Cpu, {down}, uh);
+
+    const int ex = add_bulk_exchange(w, p.local, {unpack_h});
+
+    Payload ph;
+    ph.bytes = in_bytes;
+    const int pack_h =
+        w.add("pack_host", Op::HostPack, trace::Lane::Cpu, {ex}, ph);
+
+    Payload h2d;
+    h2d.bytes = in_bytes;
+    const int up =
+        w.add("h2d", Op::CopyH2D, trace::Lane::Pcie, {pack_h}, h2d);
+
+    Payload uk;
+    uk.bytes = in_bytes;
+    const int unpack_k =
+        w.add("unpack_kernel", Op::KernelUnpack, trace::Lane::Gpu, {up}, uk);
+
+    int last = unpack_k;
+    for (std::size_t f = 0; f < parts.boundary.size(); ++f) {
+        Payload face;
+        face.regions = {parts.boundary[f]};
+        face.points = parts.boundary[f].volume();
+        last = w.add("face_" + std::to_string(f), Op::KernelFace,
+                     trace::Lane::Gpu, {last}, face);
+    }
+
+    Payload in;
+    in.regions = {parts.interior};
+    in.points = parts.interior.volume();
+    const int interior =
+        w.add("interior", Op::KernelStencil, trace::Lane::Gpu, {last}, in);
+
+    Payload sy;
+    sy.sync_count = 1;
+    const int sync =
+        w.add("sync", Op::Sync, trace::Lane::Cpu, {interior}, sy);
+
+    w.add("swap", Op::Swap, trace::Lane::Host, {sync});
+
+    return std::move(w).finish();
+}
+
+}  // namespace advect::plan

@@ -1,0 +1,98 @@
+#include "plan/builders.hpp"
+
+#include "core/stencil.hpp"
+
+namespace advect::plan {
+
+using namespace detail;
+
+/// §IV-G — GPU with streams: the interior kernel launches on stream 0 and
+/// runs while the host exchanges the halos staged by the *previous* step
+/// (cross_step_dep on post_recvs) and stream 1 replays upload, face kernels,
+/// and boundary download. The host syncs both streams, then scatters the
+/// downloaded shell into the mirror for the next step's exchange.
+StepPlan build_gpu_mpi_streams(const BuildParams& p) {
+    Writer w;
+    w.plan.impl_id = "gpu_mpi_streams";
+    w.plan.uses_comm = true;
+    w.plan.uses_gpu = true;
+    w.plan.mirror_only = true;
+    w.plan.streams = 2;
+    w.plan.staging = StagingKind::MpiHalo;
+    w.plan.finalize = Finalize::DeviceState;
+
+    const core::InteriorBoundary parts =
+        core::partition_interior_boundary(p.local);
+    const std::size_t in_bytes = mpi_halo_bytes(p.local);
+    const std::size_t out_bytes = points_of(parts.boundary) * sizeof(double);
+
+    Payload in;
+    in.regions = {parts.interior};
+    in.points = parts.interior.volume();
+    in.stream = 0;
+    const int interior =
+        w.add("interior", Op::KernelStencil, trace::Lane::Gpu, {}, in);
+
+    // The exchange consumes the boundary the previous step staged, not this
+    // step's: root the chain on the previous step's unpack_shell.
+    const int ex = add_bulk_exchange(w, p.local, {}, "unpack_shell");
+
+    Payload ph;
+    ph.bytes = in_bytes;
+    const int pack_h =
+        w.add("pack_host", Op::HostPack, trace::Lane::Cpu, {ex}, ph);
+
+    Payload h2d;
+    h2d.bytes = in_bytes;
+    h2d.stream = 1;
+    const int up =
+        w.add("h2d", Op::CopyH2D, trace::Lane::Pcie, {pack_h}, h2d);
+
+    Payload uk;
+    uk.bytes = in_bytes;
+    uk.stream = 1;
+    const int unpack_k =
+        w.add("unpack_kernel", Op::KernelUnpack, trace::Lane::Gpu, {up}, uk);
+    // The halo upload overwrites device state still read by the previous
+    // step's kernels; in-order streams express that as a prev-terminal edge.
+    w.plan.tasks[static_cast<std::size_t>(unpack_k)].also_prev_terminal = true;
+
+    int last = unpack_k;
+    for (std::size_t f = 0; f < parts.boundary.size(); ++f) {
+        Payload face;
+        face.regions = {parts.boundary[f]};
+        face.points = parts.boundary[f].volume();
+        face.stream = 1;
+        last = w.add("face_" + std::to_string(f), Op::KernelFace,
+                     trace::Lane::Gpu, {last}, face);
+    }
+
+    Payload pk;
+    pk.bytes = out_bytes;
+    pk.stream = 1;
+    pk.src_next = true;  // stages the boundary the face kernels just wrote
+    const int pack_k =
+        w.add("pack_kernel", Op::KernelPack, trace::Lane::Gpu, {last}, pk);
+
+    Payload d2h;
+    d2h.bytes = out_bytes;
+    d2h.stream = 1;
+    const int down =
+        w.add("d2h", Op::CopyD2H, trace::Lane::Pcie, {pack_k}, d2h);
+
+    Payload sy;
+    sy.sync_count = 2;
+    const int sync =
+        w.add("sync", Op::Sync, trace::Lane::Cpu, {interior, down}, sy);
+
+    Payload us;
+    us.bytes = out_bytes;
+    const int unpack_s =
+        w.add("unpack_shell", Op::HostUnpack, trace::Lane::Cpu, {down}, us);
+
+    w.add("swap", Op::Swap, trace::Lane::Host, {sync, unpack_s});
+
+    return std::move(w).finish();
+}
+
+}  // namespace advect::plan

@@ -1,0 +1,52 @@
+#include "plan/builders.hpp"
+
+#include "core/stencil.hpp"
+
+namespace advect::plan {
+
+using namespace detail;
+
+/// §IV-D — threaded overlap inside one parallel region: the master thread
+/// runs the whole serialized exchange while the team drains guided interior
+/// chunks; the boundary stage needs both, and the copy closes the step. The
+/// plan is four tasks because that is all the structure there is — the
+/// overlap lives in the two root tasks sharing no dependency.
+StepPlan build_mpi_thread_overlap(const BuildParams& p) {
+    Writer w;
+    w.plan.impl_id = "mpi_thread_overlap";
+    w.plan.uses_comm = true;
+    w.plan.mode = Mode::TeamStages;
+
+    const core::InteriorBoundary parts =
+        core::partition_interior_boundary(p.local);
+    const auto fb = face_bytes(p.local);
+
+    Payload ex;
+    ex.bytes = 2 * (fb[0] + fb[1] + fb[2]);
+    const int master = w.add("master_exchange", Op::MasterExchange,
+                             trace::Lane::Nic, {}, ex);
+
+    Payload in;
+    in.regions = {parts.interior};
+    in.points = parts.interior.volume();
+    in.schedule = Sched::Guided;
+    const int interior =
+        w.add("interior", Op::Stencil, trace::Lane::Cpu, {}, in);
+
+    Payload bnd;
+    bnd.regions = parts.boundary;
+    bnd.points = points_of(parts.boundary);
+    bnd.boundary_eff = true;
+    bnd.cache_revisit = true;
+    const int b = w.add("boundary", Op::Stencil, trace::Lane::Cpu,
+                        {interior, master}, bnd);
+
+    Payload cp;
+    cp.regions = {whole(p.local)};
+    cp.points = p.local.volume();
+    w.add("copy", Op::Copy, trace::Lane::Cpu, {b}, cp);
+
+    return std::move(w).finish();
+}
+
+}  // namespace advect::plan

@@ -1,0 +1,32 @@
+#include "plan/builders.hpp"
+
+namespace advect::plan {
+
+using namespace detail;
+
+/// §IV-A — the serial reference: fill periodic halos, apply the stencil over
+/// the whole domain, copy the new state back. One cpu lane, a straight line.
+StepPlan build_single_task(const BuildParams& p) {
+    Writer w;
+    w.plan.impl_id = "single_task";
+
+    const auto fb = face_bytes(p.local);
+    Payload halo;
+    halo.bytes = 2 * (fb[0] + fb[1] + fb[2]);
+    const int hf =
+        w.add("halo_fill", Op::HaloFill, trace::Lane::Cpu, {}, halo);
+
+    Payload st;
+    st.regions = {whole(p.local)};
+    st.points = p.local.volume();
+    const int s = w.add("stencil", Op::Stencil, trace::Lane::Cpu, {hf}, st);
+
+    Payload cp;
+    cp.regions = {whole(p.local)};
+    cp.points = p.local.volume();
+    w.add("copy", Op::Copy, trace::Lane::Cpu, {s}, cp);
+
+    return std::move(w).finish();
+}
+
+}  // namespace advect::plan

@@ -1,0 +1,89 @@
+#pragma once
+/// \file builders.hpp
+/// One StepPlanBuilder per §IV implementation. Each builder writes down the
+/// per-step task graph — the knowledge that used to live twice, once
+/// imperatively in the src/impl drivers and once in src/sched's hand-built
+/// DES graphs. Builders depend only on task-local geometry (extents and, for
+/// §IV-H/I, the CPU-box wall thickness), so every rank can build its own
+/// plan and the DES lowering can build the representative task's.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "plan/ir.hpp"
+
+namespace advect::plan {
+
+/// Geometry a builder needs: everything else (machine, thread counts, block
+/// shapes) belongs to the consumers.
+struct BuildParams {
+    core::Extents3 local;   ///< task-local interior extents
+    int box_thickness = 1;  ///< §IV-H/I CPU wall thickness
+};
+
+StepPlan build_single_task(const BuildParams& p);        // §IV-A
+StepPlan build_mpi_bulk(const BuildParams& p);           // §IV-B
+StepPlan build_mpi_nonblocking(const BuildParams& p);    // §IV-C
+StepPlan build_mpi_thread_overlap(const BuildParams& p); // §IV-D
+StepPlan build_gpu_resident(const BuildParams& p);       // §IV-E
+StepPlan build_gpu_mpi_bulk(const BuildParams& p);       // §IV-F
+StepPlan build_gpu_mpi_streams(const BuildParams& p);    // §IV-G
+StepPlan build_cpu_gpu_bulk(const BuildParams& p);       // §IV-H
+StepPlan build_cpu_gpu_overlap(const BuildParams& p);    // §IV-I
+
+/// Dispatch by registry implementation id ("single_task", "mpi_bulk", ...).
+/// Throws std::out_of_range for an unknown id. The returned plan passes
+/// validate().
+StepPlan build_step_plan(const std::string& impl_id, const BuildParams& p);
+
+namespace detail {
+
+/// Printable dimension suffixes for task names ("pack_x", "comm_y", ...).
+inline constexpr const char* kDimName[3] = {"x", "y", "z"};
+
+/// Bytes of one halo message per dimension (one direction of one stage of
+/// the serialized exchange).
+[[nodiscard]] std::array<std::size_t, 3> face_bytes(
+    const core::Extents3& local);
+
+[[nodiscard]] std::size_t points_of(const std::vector<core::Range3>& regions);
+
+/// Bytes of the six MPI halo planes staged host->device each step (§IV-F/G).
+[[nodiscard]] std::size_t mpi_halo_bytes(const core::Extents3& local);
+
+/// The whole local interior [0, n)^3 as a region.
+[[nodiscard]] core::Range3 whole(const core::Extents3& local);
+
+/// Incremental plan assembly; `finish` stamps the terminal and validates.
+class Writer {
+  public:
+    StepPlan plan;
+
+    int add(std::string name, Op op, trace::Lane lane, std::vector<int> deps,
+            Payload payload = {});
+    [[nodiscard]] StepPlan finish() &&;
+};
+
+/// Append the §IV-B serialized bulk exchange: post_recvs, then per dimension
+/// pack -> comm -> unpack, each stage feeding the next. `root_deps` seed
+/// post_recvs; a non-empty `cross_step` makes post_recvs depend on the named
+/// task of the *previous* step instead of the previous step's terminal.
+/// Returns the index of the final unpack.
+int add_bulk_exchange(Writer& w, const core::Extents3& local,
+                      std::vector<int> root_deps, std::string cross_step = {});
+
+/// Append one dimension of the overlapped exchange (§IV-C, §IV-I):
+/// pack -> {nic DMA || cpu overlap work} -> wait -> unpack. `work` is the
+/// stencil region computed while dimension `dim`'s messages are in flight
+/// (may be empty on thin subdomains); `work_eff` marks it as a strided
+/// boundary pass for the model. Returns the index of the unpack.
+int add_overlapped_dim(Writer& w, const core::Extents3& local, int dim,
+                       std::vector<int> root_deps, std::string work_name,
+                       std::vector<core::Range3> work, bool work_eff);
+
+}  // namespace detail
+
+}  // namespace advect::plan

@@ -1,0 +1,97 @@
+#include "plan/ir.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace advect::plan {
+
+const char* op_name(Op op) {
+    switch (op) {
+        case Op::PostRecvs: return "post_recvs";
+        case Op::PackSend: return "pack_send";
+        case Op::Comm: return "comm";
+        case Op::CommDma: return "comm_dma";
+        case Op::Wait: return "wait";
+        case Op::Unpack: return "unpack";
+        case Op::MasterExchange: return "master_exchange";
+        case Op::HaloFill: return "halo_fill";
+        case Op::Stencil: return "stencil";
+        case Op::Copy: return "copy";
+        case Op::HostPack: return "host_pack";
+        case Op::HostUnpack: return "host_unpack";
+        case Op::CopyH2D: return "copy_h2d";
+        case Op::CopyD2H: return "copy_d2h";
+        case Op::KernelPack: return "kernel_pack";
+        case Op::KernelUnpack: return "kernel_unpack";
+        case Op::KernelHalo: return "kernel_halo";
+        case Op::KernelStencil: return "kernel_stencil";
+        case Op::KernelFace: return "kernel_face";
+        case Op::Sync: return "sync";
+        case Op::Swap: return "swap";
+    }
+    return "?";
+}
+
+std::string StepPlan::validate_error() const {
+    if (tasks.empty()) return "plan has no tasks";
+    if (terminal < 0 || terminal >= static_cast<int>(tasks.size()))
+        return "terminal index out of range";
+    std::unordered_set<std::string> names;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const Task& t = tasks[i];
+        if (t.name.empty()) return "task " + std::to_string(i) + " has no name";
+        if (!names.insert(t.name).second)
+            return "duplicate task name '" + t.name + "'";
+        for (int d : t.deps) {
+            if (d < 0 || d >= static_cast<int>(tasks.size()))
+                return "task '" + t.name + "' depends on out-of-range index " +
+                       std::to_string(d);
+            // Dependencies must point strictly backward in issue order; a
+            // forward (or self) edge means the task list cannot be executed
+            // front to back, i.e. the graph has a cycle under issue order.
+            if (d >= static_cast<int>(i))
+                return "cyclic dependency: task '" + t.name +
+                       "' depends on task '" + tasks[d].name +
+                       "' which does not precede it";
+        }
+        // Every non-host lane must be backed by a resource this plan
+        // actually claims from the machine.
+        switch (t.lane) {
+            case trace::Lane::Host:
+            case trace::Lane::Cpu:
+                break;
+            case trace::Lane::Nic:
+                if (!uses_comm)
+                    return "task '" + t.name +
+                           "' runs on the nic lane but the plan claims no "
+                           "communicator";
+                break;
+            case trace::Lane::Pcie:
+            case trace::Lane::Gpu:
+                if (!uses_gpu)
+                    return "task '" + t.name + "' runs on the " +
+                           std::string(trace::lane_name(t.lane)) +
+                           " lane but the plan claims no device";
+                break;
+        }
+    }
+    for (const Task& t : tasks) {
+        if (!t.cross_step_dep.empty() && !names.count(t.cross_step_dep))
+            return "task '" + t.name + "' names unknown cross-step dep '" +
+                   t.cross_step_dep + "'";
+    }
+    return {};
+}
+
+int StepPlan::find(const std::string& name) const {
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        if (tasks[i].name == name) return static_cast<int>(i);
+    return -1;
+}
+
+void validate(const StepPlan& plan) {
+    std::string err = plan.validate_error();
+    if (!err.empty()) throw std::logic_error("invalid step plan: " + err);
+}
+
+}  // namespace advect::plan

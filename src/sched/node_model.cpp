@@ -8,12 +8,11 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/box_partition.hpp"
 #include "core/coefficients.hpp"
 #include "core/decomposition.hpp"
 #include "core/halo.hpp"
-#include "core/stencil.hpp"
 #include "des/engine.hpp"
+#include "plan/builders.hpp"
 
 namespace advect::sched {
 
@@ -25,16 +24,25 @@ constexpr double kSyncOverhead = 8e-6;
 
 using des::TaskId;
 
+const char* id_of(Code c) {
+    switch (c) {
+        case Code::A: return "single_task";
+        case Code::B: return "mpi_bulk";
+        case Code::C: return "mpi_nonblocking";
+        case Code::D: return "mpi_thread_overlap";
+        case Code::E: return "gpu_resident";
+        case Code::F: return "gpu_mpi_bulk";
+        case Code::G: return "gpu_mpi_streams";
+        case Code::H: return "cpu_gpu_bulk";
+        case Code::I: return "cpu_gpu_overlap";
+    }
+    return "?";
+}
+
 /// Geometry of the (largest) task subdomain and its communication surfaces.
 struct Geometry {
     core::Extents3 local{};
     std::array<std::size_t, 3> face_bytes{};  // one face message per dim
-    std::size_t vol = 0;
-    std::size_t interior_vol = 0;  // points not touching halos
-    std::size_t boundary_vol = 0;
-    std::vector<core::Extents3> boundary_slabs;  // §IV-F/G face kernels
-    std::size_t halo_bytes = 0;      // six halo regions (GPU inbound, F/G)
-    std::size_t shell_bytes = 0;     // boundary shell (GPU outbound, F/G)
 };
 
 Geometry make_geometry(const RunConfig& cfg) {
@@ -46,22 +54,26 @@ Geometry make_geometry(const RunConfig& cfg) {
     for (int d = 0; d < 3; ++d)
         g.face_bytes[static_cast<std::size_t>(d)] =
             plan.message_count(d) * sizeof(double);
-    g.vol = g.local.volume();
-    const auto parts = core::partition_interior_boundary(g.local);
-    g.interior_vol = parts.interior.volume();
-    g.boundary_vol = g.vol - g.interior_vol;
-    for (const auto& slab : parts.boundary)
-        g.boundary_slabs.push_back(slab.extents());
-    for (int d = 0; d < 3; ++d) {
-        const auto& e = plan.dims[static_cast<std::size_t>(d)];
-        g.halo_bytes += (e.recv_low.volume() + e.recv_high.volume()) *
-                        sizeof(double);
-    }
-    g.shell_bytes = g.boundary_vol * sizeof(double);
     return g;
 }
 
-/// Builds and runs the per-node task graph of one implementation.
+/// The step plan the DES simulates: the representative task's. §IV-E is the
+/// one implementation whose working set is not the decomposed subdomain (the
+/// whole field is resident on the single device), so its plan is built on
+/// the global extents.
+plan::StepPlan lowering_plan(Code impl, const RunConfig& cfg,
+                             const core::Extents3& local) {
+    const core::Extents3 e = impl == Code::E
+                                 ? core::Extents3{cfg.n, cfg.n, cfg.n}
+                                 : local;
+    return plan::build_step_plan(id_of(impl), {e, cfg.box_thickness});
+}
+
+/// Lowers one implementation's StepPlan into the discrete-event engine and
+/// runs it: one symmetric task chain per MPI task on the node, durations
+/// from advect::model, resource claims from each plan task's lane. This is
+/// the modelling consumer of the plan IR — the executor in src/impl runs
+/// the same plans for real (docs/ARCHITECTURE.md).
 class Builder {
   public:
     Builder(Code impl, const RunConfig& cfg, int steps)
@@ -73,6 +85,7 @@ class Builder {
           tpn_(impl == Code::A || impl == Code::E ? 1 : cfg.tasks_per_node()),
           intra_(cfg.nodes == 1),
           geo_(make_geometry(cfg)),
+          plan_(lowering_plan(impl, cfg, geo_.local)),
           steps_(steps) {
         cpu_ = eng_.add_resource("cpu", m_.cores_per_node());
         nic_ = eng_.add_resource("nic", 1);
@@ -90,7 +103,7 @@ class Builder {
     }
 
     double makespan() {
-        for (int t = 0; t < tpn_; ++t) build_task_chain(t);
+        for (int t = 0; t < tpn_; ++t) build_task_chain();
         return eng_.run();
     }
 
@@ -139,19 +152,23 @@ class Builder {
 
   private:
     // --- task helpers ---------------------------------------------------
-    TaskId cpu_task(double dur, std::vector<TaskId> deps, int units = -1,
-                    const char* label = "cpu") {
-        return eng_.add_task(label, dur,
+    TaskId cpu_task(std::string name, double dur, std::vector<TaskId> deps,
+                    int units = -1) {
+        return eng_.add_task(std::move(name), dur,
                              {{cpu_, units < 0 ? T_ : units}}, std::move(deps));
     }
-    TaskId nic_task(double dur, std::vector<TaskId> deps,
-                    const char* label = "nic:msg") {
-        return eng_.add_task(label, dur, {{nic_, 1}}, std::move(deps));
-    }
-    TaskId cpu_nic_task(double dur, std::vector<TaskId> deps,
-                        const char* label = "cpu:wait") {
-        return eng_.add_task(label, dur, {{cpu_, T_}, {nic_, 1}},
+    TaskId nic_task(std::string name, double dur, std::vector<TaskId> deps) {
+        return eng_.add_task(std::move(name), dur, {{nic_, 1}},
                              std::move(deps));
+    }
+    TaskId cpu_nic_task(std::string name, double dur,
+                        std::vector<TaskId> deps) {
+        return eng_.add_task(std::move(name), dur, {{cpu_, T_}, {nic_, 1}},
+                             std::move(deps));
+    }
+    /// A dependency-only marker (post_recvs, swap): zero duration, no claims.
+    TaskId free_task(std::string name, std::vector<TaskId> deps) {
+        return eng_.add_task(std::move(name), 0.0, {}, std::move(deps));
     }
     /// Context-switch penalty per device operation when several MPI tasks
     /// share one GPU (pre-MPS contexts serialize and switching costs).
@@ -160,350 +177,203 @@ class Builder {
                    ? gpu_model_->ctx_switch_us * 1e-6
                    : 0.0;
     }
-    TaskId pcie_task(double dur, std::vector<TaskId> deps,
-                     const char* label = "pcie:copy") {
-        return eng_.add_task(label, dur + ctx(), {{pcie_, 1}},
+    TaskId pcie_task(std::string name, double dur, std::vector<TaskId> deps) {
+        return eng_.add_task(std::move(name), dur + ctx(), {{pcie_, 1}},
                              std::move(deps));
     }
-    TaskId gpu_task(double dur, std::vector<TaskId> deps,
-                    const char* label = "gpu:kernel") {
-        return eng_.add_task(label, dur + ctx(), {{gpu_, 1}}, std::move(deps));
+    TaskId gpu_task(std::string name, double dur, std::vector<TaskId> deps) {
+        return eng_.add_task(std::move(name), dur + ctx(), {{gpu_, 1}},
+                             std::move(deps));
     }
 
     // --- durations --------------------------------------------------------
     double ovh() const { return m_.region_overhead_s(T_); }
-    double comm_dim(int d) const {
+    double comm_bytes(std::size_t bytes) const {
         // tasks_per_node = 1 here: NIC sharing among the node's tasks is
         // modelled by the nic resource in the engine, not by the rate.
-        return model::comm_time(m_, geo_.face_bytes[static_cast<std::size_t>(d)],
-                                2, 1, intra_);
+        return model::comm_time(m_, bytes, 2, 1, intra_);
     }
-    double pack_dim(int d, int threads) const {
-        return model::cpu_move_time(
-                   m_, 2 * geo_.face_bytes[static_cast<std::size_t>(d)],
-                   threads) +
-               (threads > 1 ? ovh() : 0.0);
+    /// Packing or unpacking both faces of one dimension (payload.bytes is
+    /// already the two-face total).
+    double pack_bytes(std::size_t bytes) const {
+        return model::cpu_move_time(m_, bytes, T_) + (T_ > 1 ? ovh() : 0.0);
+    }
+    /// Only the wire-transfer part of a message progresses without MPI calls
+    /// (NIC DMA); the per-message latency/matching part is software and is
+    /// paid at completion time — so the overlap saving shrinks to nothing as
+    /// messages become latency-dominated at high core counts.
+    double dma_alpha_part(std::size_t bytes) const {
+        return std::min(comm_bytes(bytes), 2.0 * m_.net_alpha_us * 1e-6);
+    }
+    double dma_bw_part(std::size_t bytes) const {
+        return comm_bytes(bytes) - dma_alpha_part(bytes);
+    }
+    /// Re-reading the three planes around the boundary shell in a separate
+    /// pass costs extra memory traffic the fused sweep does not pay.
+    double cache_revisit(std::size_t points) const {
+        return static_cast<double>(points) * 24.0 /
+               (m_.task_bw_gbs(T_) * 1e9);
     }
     double kernel(core::Extents3 region) const {
         return model::kernel_time(*gpu_model_, region, cfg_.block_x,
                                   cfg_.block_y);
     }
 
-    // --- building blocks ---------------------------------------------------
-    /// Serialized bulk exchange (§IV-B Step 1): pack -> comm -> unpack per
-    /// dimension. Returns the final task.
-    TaskId bulk_exchange(TaskId dep) {
-        TaskId last = dep;
-        for (int d = 0; d < 3; ++d) {
-            const TaskId pack = cpu_task(pack_dim(d, T_), {last});
-            const TaskId comm = nic_task(comm_dim(d), {pack});
-            last = cpu_task(pack_dim(d, T_), {comm});  // unpack
-        }
-        return last;
-    }
-
-    /// Nonblocking per-dimension exchange (§IV-C / §IV-I): pack, DMA-progress
-    /// on the NIC while `overlap_dur` of CPU work runs, CPU-driven completion
-    /// of the rest, unpack. Returns the final task.
-    TaskId overlapped_exchange_dim(int d, TaskId dep, double overlap_dur,
-                                   double overlap_eff) {
-        // Only the wire-transfer part of a message progresses without MPI
-        // calls (NIC DMA); the per-message latency/matching part is software
-        // and is paid at completion time — so the overlap saving shrinks to
-        // nothing as messages become latency-dominated at high core counts.
-        const double tc = comm_dim(d);
-        const double alpha_part = std::min(tc, 2.0 * m_.net_alpha_us * 1e-6);
-        const double bw_part = tc - alpha_part;
-        const double f = m_.mpi_progress;
-        const TaskId pack = cpu_task(pack_dim(d, T_), {dep});
-        const TaskId dma = nic_task(f * bw_part, {pack});
-        const TaskId work =
-            overlap_dur > 0.0 ? cpu_task(overlap_dur / overlap_eff + ovh(),
-                                         {pack})
-                              : pack;
-        const TaskId wait = cpu_nic_task(
-            alpha_part + 4.0 * m_.overlap_call_us * 1e-6 + (1.0 - f) * bw_part,
-            {dma, work});
-        return cpu_task(pack_dim(d, T_), {wait});  // unpack
-    }
-
-    // --- per-implementation chains ----------------------------------------
-    void build_task_chain(int task_index) {
-        (void)task_index;  // tasks are symmetric; resources do the coupling
-        TaskId prev = cpu_task(0.0, {});  // step-0 anchor
-        TaskId prev_staged = prev;        // §IV-G cross-step staging
-        for (int s = 0; s < steps_; ++s) {
-            switch (impl_) {
-                case Code::A: prev = step_single(prev); break;
-                case Code::B: prev = step_bulk(prev); break;
-                case Code::C: prev = step_nonblocking(prev); break;
-                case Code::D: prev = step_thread_overlap(prev); break;
-                case Code::E: prev = step_resident(prev); break;
-                case Code::F: prev = step_gpu_bulk(prev); break;
-                case Code::G: prev = step_gpu_streams(prev, prev_staged); break;
-                case Code::H: prev = step_cpu_gpu_bulk(prev); break;
-                case Code::I: prev = step_cpu_gpu_overlap(prev); break;
-            }
-        }
-    }
-
-    TaskId step_single(TaskId prev) {
-        // Periodic halo copies within the task's own memory.
-        const double halo_bytes = 2.0 * static_cast<double>(
-            geo_.face_bytes[0] + geo_.face_bytes[1] + geo_.face_bytes[2]);
-        const TaskId halo = cpu_task(
-            model::cpu_move_time(m_, static_cast<std::size_t>(halo_bytes), T_) +
-                ovh(),
-            {prev});
-        const TaskId st = cpu_task(
-            model::cpu_stencil_time(m_, geo_.vol, T_) + ovh(), {halo});
-        return cpu_task(model::cpu_copy_time(m_, geo_.vol, T_) + ovh(), {st});
-    }
-
-    TaskId step_bulk(TaskId prev) {
-        const TaskId ex = bulk_exchange(prev);
-        const TaskId st = cpu_task(
-            model::cpu_stencil_time(m_, geo_.vol, T_) + ovh(), {ex});
-        return cpu_task(model::cpu_copy_time(m_, geo_.vol, T_) + ovh(), {st});
-    }
-
-    TaskId step_nonblocking(TaskId prev) {
-        // Interior thirds overlap the three dimension exchanges.
-        const double third =
-            model::cpu_stencil_time(m_, geo_.interior_vol / 3, T_);
-        TaskId last = prev;
-        for (int d = 0; d < 3; ++d)
-            last = overlapped_exchange_dim(d, last, third, 1.0);
-        const TaskId bnd = cpu_task(
-            model::cpu_stencil_time(m_, geo_.boundary_vol, T_,
-                                    m_.boundary_eff) +
-                boundary_cache_revisit() + ovh(),
-            {last});
-        return cpu_task(model::cpu_copy_time(m_, geo_.vol, T_) + ovh(), {bnd});
-    }
-
-    /// Re-reading the three planes around the boundary shell in a separate
-    /// pass costs extra memory traffic the fused sweep does not pay.
-    double boundary_cache_revisit() const {
-        return static_cast<double>(geo_.boundary_vol) * 24.0 /
-               (m_.task_bw_gbs(T_) * 1e9);
-    }
-
-    TaskId step_thread_overlap(TaskId prev) {
-        // Master: serial pack/comm/unpack, then joins the guided interior
-        // loop. Workers compute the interior with T-1 threads meanwhile.
+    /// §IV-D: closed-form duration of the fused master-exchange/guided-
+    /// interior parallel region. The master thread runs the serial exchange
+    /// (single-thread strided pack/unpack at ~half streaming rate, plus the
+    /// wire time) and then joins the guided loop the other T-1 threads have
+    /// been draining.
+    double team_region_dur(const plan::Payload& p) const {
         double master = 0.0, comm_total = 0.0;
         for (int d = 0; d < 3; ++d) {
-            // Serial single-thread pack/unpack of strided planes: ~half the
-            // streaming rate of one core.
             master += 4.0 * model::cpu_move_time(
-                                m_, 2 * geo_.face_bytes[static_cast<std::size_t>(d)], 1);
-            comm_total += comm_dim(d);
+                                m_,
+                                2 * geo_.face_bytes[static_cast<std::size_t>(d)],
+                                1);
+            comm_total += comm_bytes(geo_.face_bytes[static_cast<std::size_t>(d)]);
         }
         master += comm_total;
-        double w = model::cpu_stencil_time(m_, geo_.interior_vol, T_) /
-                   m_.guided_eff;
+        double w = model::cpu_stencil_time(m_, p.points, T_) / m_.guided_eff;
         // Guided scheduling overhead: ~T * ln(rows/T) chunk claims.
         const double rows = std::max(
             2.0, static_cast<double>(geo_.local.ny) * geo_.local.nz / T_);
         w += T_ * std::log(rows) * m_.guided_chunk_us * 1e-6;
-        double region;
-        if (T_ == 1) {
-            region = master + w;
-        } else {
-            const double frac = static_cast<double>(T_ - 1) / T_;
-            if (w <= master * frac)
-                region = std::max(master, w / frac);
-            else
-                region = master + (w - master * frac);
-        }
-        const TaskId nic_occupancy = nic_task(comm_total, {prev});
-        const TaskId reg = cpu_task(region + ovh(), {prev});
-        const TaskId bnd = cpu_task(
-            model::cpu_stencil_time(m_, geo_.boundary_vol, T_,
-                                    m_.boundary_eff) +
-                boundary_cache_revisit() + ovh(),
-            {reg, nic_occupancy});
-        return cpu_task(model::cpu_copy_time(m_, geo_.vol, T_) + ovh(), {bnd});
+        if (T_ == 1) return master + w;
+        const double frac = static_cast<double>(T_ - 1) / T_;
+        if (w <= master * frac) return std::max(master, w / frac);
+        return master + (w - master * frac);
     }
 
-    TaskId step_resident(TaskId prev) {
-        // Three periodic-halo passes then the full-domain kernel.
-        const double face =
-            2.0 * static_cast<double>(cfg_.n) * cfg_.n * sizeof(double);
-        TaskId last = prev;
-        for (int d = 0; d < 3; ++d) {
-            (void)d;
-            last = gpu_task(model::stage_kernel_time(
-                                *gpu_model_, static_cast<std::size_t>(face)),
-                            {last});
-        }
-        return gpu_task(kernel({cfg_.n, cfg_.n, cfg_.n}), {last});
+    /// §IV-D: total wire time of the master's serial exchange, occupying the
+    /// NIC for the whole parallel region's communication phase.
+    double master_comm_dur() const {
+        double comm_total = 0.0;
+        for (int d = 0; d < 3; ++d)
+            comm_total +=
+                comm_bytes(geo_.face_bytes[static_cast<std::size_t>(d)]);
+        return comm_total;
     }
 
-    /// GPU-side staging pipelines shared by F/G/H/I.
-    struct Staged {
-        TaskId host_done;  // host has the device's outbound data
-        TaskId dev_done;   // device has the host's inbound data
-    };
-
-    TaskId step_gpu_bulk(TaskId prev) {
-        // d2h boundary -> MPI -> h2d halos -> face kernels -> interior.
-        const TaskId packK = gpu_task(
-            model::stage_kernel_time(*gpu_model_, geo_.shell_bytes), {prev});
-        const TaskId d2h =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, geo_.shell_bytes), {packK});
-        const TaskId unpackH = cpu_task(
-            model::host_stage_time(*gpu_model_, geo_.shell_bytes) +
-                kSyncOverhead,
-            {d2h});
-        const TaskId ex = bulk_exchange(unpackH);
-        const TaskId packH = cpu_task(
-            model::host_stage_time(*gpu_model_, geo_.halo_bytes), {ex});
-        const TaskId h2d =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, geo_.halo_bytes), {packH});
-        TaskId last = gpu_task(
-            model::stage_kernel_time(*gpu_model_, geo_.halo_bytes), {h2d});
-        for (const auto& slab : geo_.boundary_slabs)
-            last = gpu_task(model::face_kernel_time(*gpu_model_,
-                                                    slab.volume()),
-                            {last});
-        const auto e = geo_.local;
-        const TaskId interior =
-            gpu_task(kernel({e.nx - 2, e.ny - 2, e.nz - 2}), {last});
-        return cpu_task(kSyncOverhead, {interior});
-    }
-
-    TaskId step_gpu_streams(TaskId prev, TaskId& prev_staged) {
-        // Stream 1: interior kernel. CPU: MPI with last step's staged
-        // boundary. Stream 2: h2d halos, face kernels, d2h new boundary.
-        const auto e = geo_.local;
-        const TaskId interior =
-            gpu_task(kernel({e.nx - 2, e.ny - 2, e.nz - 2}), {prev});
-        const TaskId ex = bulk_exchange(prev_staged);
-        const TaskId packH = cpu_task(
-            model::host_stage_time(*gpu_model_, geo_.halo_bytes), {ex});
-        const TaskId h2d =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, geo_.halo_bytes), {packH});
-        TaskId last = gpu_task(
-            model::stage_kernel_time(*gpu_model_, geo_.halo_bytes), {h2d, prev});
-        for (const auto& slab : geo_.boundary_slabs)
-            last = gpu_task(model::face_kernel_time(*gpu_model_,
-                                                    slab.volume()),
-                            {last});
-        const TaskId packK = gpu_task(
-            model::stage_kernel_time(*gpu_model_, geo_.shell_bytes), {last});
-        const TaskId d2h =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, geo_.shell_bytes), {packK});
-        const TaskId unpackH = cpu_task(
-            model::host_stage_time(*gpu_model_, geo_.shell_bytes), {d2h});
-        prev_staged = unpackH;
-        return cpu_task(2.0 * kSyncOverhead, {interior, unpackH});
-    }
-
-    /// Box geometry for H/I (throws if infeasible; caller converts to inf).
-    struct BoxGeo {
-        core::BoxPartition box;
-        std::size_t in_bytes, out_bytes;
-        std::vector<core::Extents3> shell_slabs;
-        std::array<std::size_t, 3> inner_pts{};
-        std::size_t outer_pts = 0;
-        explicit BoxGeo(const Geometry& g, int t) : box(g.local, t) {
-            in_bytes = out_bytes = 0;
-            for (const auto& r : box.gpu_halo_shell())
-                in_bytes += r.volume() * sizeof(double);
-            for (const auto& r : box.block_boundary_shell()) {
-                out_bytes += r.volume() * sizeof(double);
-                shell_slabs.push_back(r.extents());
+    // --- the lowering -----------------------------------------------------
+    /// One engine task per plan task, duration by Op from the calibrated
+    /// cost models, resource claims by lane.
+    TaskId lower_task(const plan::Task& t, std::vector<TaskId> deps) {
+        const plan::Payload& p = t.payload;
+        switch (t.op) {
+            case plan::Op::PostRecvs:
+            case plan::Op::Swap:
+                return free_task(t.name, std::move(deps));
+            case plan::Op::PackSend:
+            case plan::Op::Unpack:
+                return cpu_task(t.name, pack_bytes(p.bytes), std::move(deps));
+            case plan::Op::Comm:
+                return nic_task(t.name, comm_bytes(p.bytes), std::move(deps));
+            case plan::Op::CommDma:
+                return nic_task(t.name, m_.mpi_progress * dma_bw_part(p.bytes),
+                                std::move(deps));
+            case plan::Op::Wait:
+                return cpu_nic_task(
+                    t.name,
+                    dma_alpha_part(p.bytes) +
+                        4.0 * m_.overlap_call_us * 1e-6 +
+                        (1.0 - m_.mpi_progress) * dma_bw_part(p.bytes),
+                    std::move(deps));
+            case plan::Op::MasterExchange:
+                return nic_task(t.name, master_comm_dur(), std::move(deps));
+            case plan::Op::HaloFill:
+                return cpu_task(t.name,
+                                model::cpu_move_time(m_, p.bytes, T_) + ovh(),
+                                std::move(deps));
+            case plan::Op::Stencil: {
+                if (plan_.mode == plan::Mode::TeamStages &&
+                    p.schedule == plan::Sched::Guided)
+                    return cpu_task(t.name, team_region_dur(p) + ovh(),
+                                    std::move(deps));
+                if (p.points == 0)  // empty overlap slab on thin subdomains
+                    return free_task(t.name, std::move(deps));
+                const double eff = p.boundary_eff ? m_.boundary_eff : 1.0;
+                return cpu_task(
+                    t.name,
+                    model::cpu_stencil_time(m_, p.points, T_, eff) +
+                        (p.cache_revisit ? cache_revisit(p.points) : 0.0) +
+                        ovh(),
+                    std::move(deps));
             }
-            for (const auto& w : box.cpu_walls()) {
-                for (const auto& r : w.inner)
-                    inner_pts[static_cast<std::size_t>(w.dim)] += r.volume();
-                for (const auto& r : w.outer) outer_pts += r.volume();
+            case plan::Op::Copy:
+                return cpu_task(t.name,
+                                model::cpu_copy_time(m_, p.points, T_) + ovh(),
+                                std::move(deps));
+            case plan::Op::HostPack:
+            case plan::Op::HostUnpack:
+                return cpu_task(t.name,
+                                model::host_stage_time(*gpu_model_, p.bytes) +
+                                    (p.synced ? kSyncOverhead : 0.0),
+                                std::move(deps));
+            case plan::Op::CopyH2D:
+            case plan::Op::CopyD2H:
+                return pcie_task(
+                    t.name,
+                    p.coupled_pcie
+                        ? model::pcie_time_coupled(*gpu_model_, p.bytes)
+                        : model::pcie_time(*gpu_model_, p.bytes),
+                    std::move(deps));
+            case plan::Op::KernelPack:
+            case plan::Op::KernelUnpack:
+            case plan::Op::KernelHalo:
+                return gpu_task(t.name,
+                                model::stage_kernel_time(*gpu_model_, p.bytes),
+                                std::move(deps));
+            case plan::Op::KernelStencil: {
+                double dur = kernel(p.regions.front().extents());
+                // When the device runs kernels concurrently, the contended
+                // kernels steal SM throughput from this one: conserve total
+                // work by adding their time.
+                if (gpu_model_->props.concurrent_kernels)
+                    for (const auto& r : p.contended)
+                        dur += model::face_kernel_time(*gpu_model_,
+                                                       r.volume());
+                return gpu_task(t.name, dur, std::move(deps));
             }
+            case plan::Op::KernelFace:
+                return gpu_task(t.name,
+                                model::face_kernel_time(*gpu_model_, p.points),
+                                std::move(deps));
+            case plan::Op::Sync:
+                return cpu_task(t.name, p.sync_count * kSyncOverhead,
+                                std::move(deps));
         }
-    };
-
-    TaskId step_cpu_gpu_bulk(TaskId prev) {
-        const BoxGeo bg(geo_, cfg_.box_thickness);
-        // GPU shell exchange (CPU blocks on the d2h sync), then MPI, then
-        // block kernel || wall computation.
-        const TaskId packK = gpu_task(
-            model::stage_kernel_time(*gpu_model_, bg.out_bytes), {prev});
-        const TaskId d2h =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, bg.out_bytes), {packK});
-        const TaskId unpackH = cpu_task(
-            model::host_stage_time(*gpu_model_, bg.out_bytes) + kSyncOverhead,
-            {d2h});
-        const TaskId packH = cpu_task(
-            model::host_stage_time(*gpu_model_, bg.in_bytes), {unpackH});
-        const TaskId h2d =
-            pcie_task(model::pcie_time_coupled(*gpu_model_, bg.in_bytes), {packH});
-        const TaskId unpackK = gpu_task(
-            model::stage_kernel_time(*gpu_model_, bg.in_bytes), {h2d});
-        const TaskId ex = bulk_exchange(packH);
-        const TaskId block =
-            gpu_task(kernel(bg.box.gpu_block().extents()), {unpackK, ex});
-        const TaskId walls = cpu_task(
-            model::cpu_stencil_time(m_, bg.box.cpu_points(), T_,
-                                    m_.boundary_eff) +
-                ovh(),
-            {ex});
-        const TaskId copy = cpu_task(
-            model::cpu_copy_time(m_, bg.box.cpu_points(), T_) + ovh(), {walls});
-        return cpu_task(kSyncOverhead, {block, copy});
+        return free_task(t.name, std::move(deps));
     }
 
-    TaskId step_cpu_gpu_overlap(TaskId prev) {
-        const BoxGeo bg(geo_, cfg_.box_thickness);
-        const auto block = bg.box.gpu_block();
-        const auto block_interior = core::expand(block, -1);
-        // Stream 2 first: the decoupled CPU-GPU shell exchange and the
-        // small block-shell kernels. On the C2050 these run concurrently
-        // with the long interior kernel (concurrent kernels); with the
-        // engine modelled at capacity 1, issuing the short work first is
-        // the equivalent schedule.
-        const TaskId packH = cpu_task(
-            model::host_stage_time(*gpu_model_, bg.in_bytes), {prev});
-        const TaskId h2d =
-            pcie_task(model::pcie_time(*gpu_model_, bg.in_bytes), {packH});
-        TaskId last = gpu_task(
-            model::stage_kernel_time(*gpu_model_, bg.in_bytes), {h2d});
-        for (const auto& slab : bg.shell_slabs)
-            last = gpu_task(model::face_kernel_time(*gpu_model_,
-                                                    slab.volume()),
-                            {last});
-        const TaskId packK = gpu_task(
-            model::stage_kernel_time(*gpu_model_, bg.out_bytes), {last});
-        const TaskId d2h =
-            pcie_task(model::pcie_time(*gpu_model_, bg.out_bytes), {packK});
-        // Stream 1: block-interior kernel, no fresh-data dependency. When
-        // the device runs kernels concurrently, the shell kernels steal SM
-        // throughput from it: conserve total work by adding their time.
-        double interior_dur = kernel(block_interior.extents());
-        if (gpu_model_->props.concurrent_kernels) {
-            for (const auto& slab : bg.shell_slabs)
-                interior_dur +=
-                    model::face_kernel_time(*gpu_model_, slab.volume());
+    /// Replay the plan `steps_` times: in-step dependencies map through the
+    /// plan's indices; a task with no in-step dependencies roots on the
+    /// previous step's terminal, or on its cross_step_dep task of the
+    /// previous step (§IV-G's exchange consumes last step's staged shell).
+    void build_task_chain() {
+        TaskId prev_terminal = cpu_task("anchor", 0.0, {});  // step-0 anchor
+        std::vector<TaskId> prev_ids;  // plan index -> previous step's task
+        for (int s = 0; s < steps_; ++s) {
+            std::vector<TaskId> cur;
+            cur.reserve(plan_.tasks.size());
+            for (const auto& t : plan_.tasks) {
+                std::vector<TaskId> deps;
+                for (const int d : t.deps)
+                    deps.push_back(cur[static_cast<std::size_t>(d)]);
+                if (deps.empty()) {
+                    const int c = t.cross_step_dep.empty()
+                                      ? -1
+                                      : plan_.find(t.cross_step_dep);
+                    deps.push_back(c >= 0 && !prev_ids.empty()
+                                       ? prev_ids[static_cast<std::size_t>(c)]
+                                       : prev_terminal);
+                }
+                if (t.also_prev_terminal) deps.push_back(prev_terminal);
+                cur.push_back(lower_task(t, std::move(deps)));
+            }
+            prev_terminal = cur[static_cast<std::size_t>(plan_.terminal)];
+            prev_ids = std::move(cur);
         }
-        const TaskId interior = gpu_task(interior_dur, {prev});
-        // MPI per dimension, overlapped with that dimension's wall interior.
-        TaskId mpi = packH;  // program order: host pack precedes MPI loop
-        for (int d = 0; d < 3; ++d) {
-            const double inner = model::cpu_stencil_time(
-                m_, bg.inner_pts[static_cast<std::size_t>(d)], T_,
-                m_.boundary_eff);
-            mpi = overlapped_exchange_dim(d, mpi, inner, 1.0);
-        }
-        const TaskId outer = cpu_task(
-            model::cpu_stencil_time(m_, bg.outer_pts, T_, m_.boundary_eff) +
-                ovh(),
-            {mpi});
-        const TaskId copy = cpu_task(
-            model::cpu_copy_time(m_, bg.box.cpu_points(), T_) + ovh(), {outer});
-        const TaskId unpackH = cpu_task(
-            model::host_stage_time(*gpu_model_, bg.out_bytes), {d2h, copy});
-        return cpu_task(2.0 * kSyncOverhead, {interior, unpackH});
     }
 
     Code impl_;
@@ -514,6 +384,7 @@ class Builder {
     int tpn_;
     bool intra_;
     Geometry geo_;
+    plan::StepPlan plan_;
     int steps_;
     des::Engine eng_;
     des::ResourceId cpu_{}, nic_{}, pcie_{}, gpu_{};
@@ -562,6 +433,10 @@ std::string code_label(Code c) {
         case Code::I: return "IV-I CPU+GPU full overlap";
     }
     return "?";
+}
+
+plan::StepPlan plan_for(Code impl, const RunConfig& cfg) {
+    return lowering_plan(impl, cfg, make_geometry(cfg).local);
 }
 
 double step_time(Code impl, const RunConfig& cfg) {

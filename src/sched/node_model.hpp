@@ -11,6 +11,7 @@
 
 #include "model/cpu_cost.hpp"
 #include "model/gpu_cost.hpp"
+#include "plan/ir.hpp"
 
 namespace advect::sched {
 
@@ -40,6 +41,12 @@ struct RunConfig {
         return nodes * machine.cores_per_node();
     }
 };
+
+/// The step plan the DES lowering simulates for one configuration: the
+/// representative (rank 0) task's plan, exactly what the executed code runs.
+/// Throws std::invalid_argument for infeasible geometry (e.g. a §IV-H/I box
+/// thickness that leaves no GPU block).
+[[nodiscard]] plan::StepPlan plan_for(Code impl, const RunConfig& cfg);
 
 /// Steady-state modelled seconds per time step for one implementation.
 /// Returns infinity for configurations the implementation cannot run

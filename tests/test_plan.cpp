@@ -1,0 +1,154 @@
+/// \file test_plan.cpp
+/// The step-plan IR: all nine builders produce valid plans on a range of
+/// geometries, and validate() rejects the malformed plans a hand-written
+/// builder could produce — cyclic or dangling dependencies, duplicate
+/// names, and tasks on resource lanes the plan never claims.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "plan/builders.hpp"
+
+namespace core = advect::core;
+namespace plan = advect::plan;
+
+namespace {
+
+const char* kIds[] = {
+    "single_task",    "mpi_bulk",       "mpi_nonblocking",
+    "mpi_thread_overlap", "gpu_resident", "gpu_mpi_bulk",
+    "gpu_mpi_streams", "cpu_gpu_bulk",   "cpu_gpu_overlap",
+};
+
+/// A minimal two-task plan to mutate into invalid shapes.
+plan::StepPlan tiny_plan() {
+    plan::StepPlan p;
+    p.impl_id = "tiny";
+    plan::Task a;
+    a.name = "a";
+    a.op = plan::Op::HaloFill;
+    a.lane = advect::trace::Lane::Cpu;
+    plan::Task b;
+    b.name = "b";
+    b.op = plan::Op::Copy;
+    b.lane = advect::trace::Lane::Cpu;
+    b.deps = {0};
+    p.tasks = {a, b};
+    p.terminal = 1;
+    return p;
+}
+
+}  // namespace
+
+TEST(PlanBuilders, AllNineValidate) {
+    for (const char* id : kIds) {
+        const auto p = plan::build_step_plan(id, {{24, 24, 24}, 2});
+        EXPECT_EQ(p.validate_error(), "") << id;
+        EXPECT_EQ(p.impl_id, id);
+        EXPECT_FALSE(p.tasks.empty()) << id;
+        EXPECT_EQ(p.terminal, static_cast<int>(p.tasks.size()) - 1) << id;
+    }
+}
+
+TEST(PlanBuilders, ThinSubdomainsValidate) {
+    // Degenerate geometry: plane-thin local domains with empty interior
+    // thirds and missing boundary slabs still produce valid plans.
+    for (const char* id : kIds) {
+        const auto p = plan::build_step_plan(id, {{5, 4, 3}, 1});
+        EXPECT_EQ(p.validate_error(), "") << id;
+    }
+}
+
+TEST(PlanBuilders, UnknownIdThrows) {
+    EXPECT_THROW((void)plan::build_step_plan("nope", {{24, 24, 24}, 1}),
+                 std::out_of_range);
+}
+
+TEST(PlanBuilders, InfeasibleBoxThrows) {
+    // 2 * thickness >= extent leaves no GPU block (§IV-H/I).
+    EXPECT_THROW((void)plan::build_step_plan("cpu_gpu_overlap", {{8, 8, 8}, 4}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)plan::build_step_plan("cpu_gpu_bulk", {{8, 8, 8}, 4}),
+                 std::invalid_argument);
+}
+
+TEST(PlanBuilders, FindLocatesTasksByName) {
+    const auto p = plan::build_step_plan("mpi_bulk", {{24, 24, 24}, 1});
+    const int i = p.find("comm_y");
+    ASSERT_GE(i, 0);
+    EXPECT_EQ(p.tasks[static_cast<std::size_t>(i)].name, "comm_y");
+    EXPECT_EQ(p.find("no_such_task"), -1);
+}
+
+TEST(PlanValidate, AcceptsTinyPlan) {
+    EXPECT_EQ(tiny_plan().validate_error(), "");
+    EXPECT_NO_THROW(plan::validate(tiny_plan()));
+}
+
+TEST(PlanValidate, RejectsEmptyPlan) {
+    plan::StepPlan p;
+    EXPECT_NE(p.validate_error(), "");
+    EXPECT_THROW(plan::validate(p), std::logic_error);
+}
+
+TEST(PlanValidate, RejectsCyclicDependency) {
+    // A forward dependency means the issue-order list cannot be executed
+    // front to back — the graph has a cycle under issue order.
+    auto p = tiny_plan();
+    p.tasks[0].deps = {1};
+    EXPECT_NE(p.validate_error().find("cyclic"), std::string::npos);
+    EXPECT_THROW(plan::validate(p), std::logic_error);
+
+    auto self = tiny_plan();
+    self.tasks[1].deps = {1};  // self-edge
+    EXPECT_NE(self.validate_error().find("cyclic"), std::string::npos);
+}
+
+TEST(PlanValidate, RejectsOutOfRangeDependency) {
+    auto p = tiny_plan();
+    p.tasks[1].deps = {7};
+    EXPECT_NE(p.validate_error().find("out-of-range"), std::string::npos);
+}
+
+TEST(PlanValidate, RejectsDuplicateNames) {
+    auto p = tiny_plan();
+    p.tasks[1].name = "a";
+    EXPECT_NE(p.validate_error().find("duplicate"), std::string::npos);
+}
+
+TEST(PlanValidate, RejectsBadTerminal) {
+    auto p = tiny_plan();
+    p.terminal = 5;
+    EXPECT_NE(p.validate_error(), "");
+}
+
+TEST(PlanValidate, RejectsNicTaskWithoutCommunicator) {
+    auto p = tiny_plan();
+    ASSERT_FALSE(p.uses_comm);
+    p.tasks[1].op = plan::Op::Comm;
+    p.tasks[1].lane = advect::trace::Lane::Nic;
+    EXPECT_NE(p.validate_error().find("communicator"), std::string::npos);
+    p.uses_comm = true;  // claiming the resource fixes it
+    EXPECT_EQ(p.validate_error(), "");
+}
+
+TEST(PlanValidate, RejectsDeviceTaskWithoutDevice) {
+    for (const auto lane :
+         {advect::trace::Lane::Gpu, advect::trace::Lane::Pcie}) {
+        auto p = tiny_plan();
+        ASSERT_FALSE(p.uses_gpu);
+        p.tasks[1].op = plan::Op::KernelStencil;
+        p.tasks[1].lane = lane;
+        EXPECT_NE(p.validate_error().find("device"), std::string::npos);
+        p.uses_gpu = true;
+        EXPECT_EQ(p.validate_error(), "");
+    }
+}
+
+TEST(PlanValidate, RejectsUnknownCrossStepDep) {
+    auto p = tiny_plan();
+    p.tasks[0].cross_step_dep = "ghost";
+    EXPECT_NE(p.validate_error().find("cross-step"), std::string::npos);
+}

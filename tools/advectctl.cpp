@@ -7,6 +7,11 @@
 ///   advectctl trace   [impl] [n] [steps] [tasks] [threads] [out.json]
 ///       run one implementation with runtime tracing on, write a Chrome
 ///       trace-event JSON timeline and print the measured overlap summary
+///   advectctl plan    [impl] [n] [tasks] [box] [out.json]
+///       print one implementation's step plan (tasks, lanes, dependencies) —
+///       the IR both the executor and the DES model consume — and
+///       optionally export it as a dependency-depth timeline for
+///       chrome://tracing
 ///   advectctl model   [machine] [impl] [nodes] [threads] [box]
 ///       modelled step time / GF / utilization for one configuration
 ///   advectctl tune    [machine] [nodes]
@@ -23,7 +28,9 @@
 #include <cstring>
 #include <string>
 
+#include "core/decomposition.hpp"
 #include "impl/registry.hpp"
+#include "plan/builders.hpp"
 #include "sched/report.hpp"
 #include "sched/sweeps.hpp"
 #include "trace/export.hpp"
@@ -114,6 +121,85 @@ int cmd_trace(int argc, char** argv) {
     return 0;
 }
 
+int cmd_plan(int argc, char** argv) {
+    namespace plan = advect::plan;
+    namespace trace = advect::trace;
+    const std::string id = argc > 0 ? argv[0] : "cpu_gpu_overlap";
+    const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+    const int tasks = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int box = argc > 3 ? std::atoi(argv[3]) : 2;
+
+    // Single-task plans (A, E) cover the whole domain; the rest get the
+    // representative rank-0 subdomain of the requested decomposition.
+    plan::StepPlan p = plan::build_step_plan(id, {{n, n, n}, box});
+    if (p.uses_comm) {
+        const auto decomp = core::make_decomposition({n, n, n}, tasks);
+        p = plan::build_step_plan(id, {decomp.local_extents(0), box});
+    }
+
+    std::printf("%s: one step of a %d^3 run%s (%zu tasks, %s)\n",
+                p.impl_id.c_str(), n,
+                p.uses_comm ? (" over " + std::to_string(tasks) + " tasks")
+                                  .c_str()
+                            : "",
+                p.tasks.size(),
+                p.mode == plan::Mode::TeamStages ? "one team-staged region"
+                                                 : "host issue order");
+    std::printf("%3s  %-16s %-16s %-5s %-18s %s\n", "#", "task", "op", "lane",
+                "deps", "payload");
+    std::vector<int> depth(p.tasks.size(), 0);
+    for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+        const plan::Task& t = p.tasks[i];
+        std::string deps;
+        for (const int d : t.deps) {
+            if (!deps.empty()) deps += ",";
+            deps += p.tasks[static_cast<std::size_t>(d)].name;
+            depth[i] = std::max(depth[i], depth[static_cast<std::size_t>(d)] + 1);
+        }
+        if (!t.cross_step_dep.empty())
+            deps += "prev:" + t.cross_step_dep;
+        if (t.also_prev_terminal)
+            deps += deps.empty() ? "prev-step" : "+prev-step";
+        std::string payload;
+        if (t.payload.bytes > 0)
+            payload += std::to_string(t.payload.bytes) + " B";
+        if (t.payload.points > 0)
+            payload += (payload.empty() ? "" : ", ") +
+                       std::to_string(t.payload.points) + " pts";
+        if (t.payload.stream > 0)
+            payload += (payload.empty() ? "" : ", ") + std::string("stream ") +
+                       std::to_string(t.payload.stream);
+        std::printf("%3zu  %-16s %-16s %-5s %-18s %s%s\n", i, t.name.c_str(),
+                    plan::op_name(t.op), trace::lane_name(t.lane),
+                    deps.c_str(), payload.c_str(),
+                    static_cast<int>(i) == p.terminal ? "  <- terminal" : "");
+    }
+
+    if (argc > 4) {
+        // Export a synthetic timeline (each task one unit at its dependency
+        // depth) through the same Chrome-trace exporter the runtime uses.
+        std::vector<trace::Span> spans;
+        for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+            trace::Span s;
+            s.name = p.tasks[i].name;
+            s.category = "plan";
+            s.lane = p.tasks[i].lane;
+            s.t0 = 1e-6 * depth[i];
+            s.t1 = 1e-6 * (depth[i] + 1);
+            spans.push_back(std::move(s));
+        }
+        std::FILE* f = std::fopen(argv[4], "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", argv[4]);
+            return 1;
+        }
+        std::fputs(trace::to_chrome_json(spans).c_str(), f);
+        std::fclose(f);
+        std::printf("(dependency-depth timeline -> %s)\n", argv[4]);
+    }
+    return 0;
+}
+
 int cmd_model(int argc, char** argv) {
     sched::RunConfig cfg;
     cfg.machine = machine_by_name(argc > 0 ? argv[0] : "yona");
@@ -194,10 +280,11 @@ int cmd_impls() {
 void usage() {
     std::fprintf(stderr,
                  "usage: advectctl "
-                 "<solve|trace|model|tune|scaling|gantt|machines|impls> "
+                 "<solve|trace|plan|model|tune|scaling|gantt|machines|impls> "
                  "[args...]\n"
                  "  solve   [impl] [n] [steps] [tasks] [threads]\n"
                  "  trace   [impl] [n] [steps] [tasks] [threads] [out.json]\n"
+                 "  plan    [impl] [n] [tasks] [box] [out.json]\n"
                  "  model   [machine] [impl] [nodes] [threads] [box]\n"
                  "  tune    [machine] [nodes]\n"
                  "  scaling [machine] [impl]\n"
@@ -215,6 +302,7 @@ int main(int argc, char** argv) {
     try {
         if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
         if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+        if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
         if (cmd == "model") return cmd_model(argc - 2, argv + 2);
         if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
         if (cmd == "scaling") return cmd_scaling(argc - 2, argv + 2);
