@@ -1,0 +1,169 @@
+// Chaos resilience report: sweep a fault scenario's severity for every
+// implementation through the DES node model (docs/CHAOS.md) and check the
+// ordering the overlap structure predicts — under equal injected NIC jitter
+// the overlapping implementations (IV-C nonblocking, IV-I full overlap) lose
+// a smaller GF fraction than their bulk counterparts (IV-B, IV-F/H), because
+// delay landing on an already-overlapped message flight is absorbed instead
+// of extending the critical path.
+//
+// `--json` prints the same curves as a JSON document for
+// tools/record_bench.py --chaos (recorded to BENCH_chaos.json).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "chaos/report.hpp"
+#include "chaos/scenario.hpp"
+
+namespace chaos = advect::chaos;
+namespace model = advect::model;
+namespace sched = advect::sched;
+
+namespace {
+
+const chaos::ResilienceCurve* curve_for(
+    const std::vector<chaos::ResilienceCurve>& curves, sched::Code c) {
+    for (const auto& k : curves)
+        if (k.code == c) return &k;
+    return nullptr;
+}
+
+void append_json(std::string& out, const char* sweep_name,
+                 const char* x_name,
+                 const std::vector<chaos::ResilienceCurve>& curves,
+                 bool last) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "    \"%s\": {\n      \"x\": \"%s\",\n",
+                  sweep_name, x_name);
+    out += buf;
+    out += "      \"curves\": [\n";
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        const auto& c = curves[i];
+        std::snprintf(buf, sizeof(buf),
+                      "        {\"impl\": \"%s\", \"base_gflops\": %.3f, "
+                      "\"points\": [",
+                      c.label.c_str(), c.base_gflops);
+        out += buf;
+        for (std::size_t j = 0; j < c.points.size(); ++j) {
+            const auto& p = c.points[j];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"x\": %g, \"gflops\": %.3f, \"loss\": %.4f, "
+                          "\"absorbed\": %.4f, \"injected_us\": %.1f}",
+                          j ? ", " : "", p.x, p.gflops, p.loss, p.absorbed,
+                          p.injected_us);
+            out += buf;
+        }
+        out += "]}";
+        out += (i + 1 < curves.size()) ? ",\n" : "\n";
+    }
+    out += "      ]\n    }";
+    out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+    sched::RunConfig base;
+    base.machine = model::MachineSpec::yona();
+    base.nodes = 4;
+    base.n = 420;
+
+    const sched::Code all[] = {sched::Code::A, sched::Code::B, sched::Code::C,
+                               sched::Code::D, sched::Code::E, sched::Code::F,
+                               sched::Code::G, sched::Code::H, sched::Code::I};
+
+    // Sweep 1: NIC jitter. One task per socket-pair keeps the CPU codes in
+    // their best-tuned region while every halo message crosses the NIC.
+    sched::RunConfig jitter_cfg = base;
+    jitter_cfg.threads_per_task = 12;
+    const double amps[] = {0.0, 50.0, 100.0, 200.0, 400.0};
+    const auto jitter = chaos::resilience_sweep(
+        jitter_cfg, all, amps,
+        [](double a) { return chaos::nic_jitter(a, /*seed=*/42); });
+
+    // Sweep 2: straggler ranks. Smaller teams (6 tasks/node) so a handful of
+    // slow chains is a minority of the node, at a fixed 500us task delay.
+    sched::RunConfig strag_cfg = base;
+    strag_cfg.threads_per_task = 2;
+    const double counts[] = {0.0, 1.0, 2.0, 3.0};
+    const auto straggler = chaos::resilience_sweep(
+        strag_cfg, all, counts, [](double k) {
+            return chaos::straggler_ranks(static_cast<int>(k),
+                                          /*amplitude_us=*/500.0,
+                                          /*seed=*/42);
+        });
+
+    // Sweep 3: GPU kernel slowdown, for the GPU-side view of the same story.
+    const auto gpu = chaos::resilience_sweep(
+        jitter_cfg, all, amps,
+        [](double a) { return chaos::gpu_slowdown(a, /*seed=*/42); });
+
+    if (json) {
+        std::string out = "{\n  \"machine\": \"yona\", \"nodes\": 4, "
+                          "\"n\": 420, \"seed\": 42,\n  \"sweeps\": {\n";
+        append_json(out, "nic_jitter_us", "amplitude_us", jitter, false);
+        append_json(out, "straggler_ranks", "stragglers", straggler, false);
+        append_json(out, "gpu_slowdown_us", "amplitude_us", gpu, true);
+        out += "  }\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("== Chaos resilience: Yona, 4 nodes, n=420, seed 42 ==\n");
+    std::printf("-- NIC jitter (12 threads/task), amplitude sweep --\n%s",
+                chaos::format_curves(jitter, "amp_us").c_str());
+    std::printf("-- Straggler ranks (2 threads/task), 500us delay --\n%s",
+                chaos::format_curves(straggler, "stragglers").c_str());
+    std::printf("-- GPU kernel slowdown (12 threads/task) --\n%s",
+                chaos::format_curves(gpu, "amp_us").c_str());
+
+    const auto* jB = curve_for(jitter, sched::Code::B);
+    const auto* jC = curve_for(jitter, sched::Code::C);
+    const auto* jF = curve_for(jitter, sched::Code::F);
+    const auto* jI = curve_for(jitter, sched::Code::I);
+    const auto* jA = curve_for(jitter, sched::Code::A);
+    if (!jB || !jC || !jF || !jI || !jA) {
+        std::printf("missing implementation curve\n");
+        return 1;
+    }
+
+    // The paper's overlap hierarchy under equal injected NIC jitter.
+    bench::check(jC->final_loss() < jB->final_loss(),
+                 "nonblocking MPI (IV-C) loses a smaller GF fraction than "
+                 "bulk MPI (IV-B) under equal NIC jitter");
+    bench::check(jI->final_loss() < jF->final_loss(),
+                 "full overlap (IV-I) loses a smaller GF fraction than bulk "
+                 "GPU-MPI (IV-F) under equal NIC jitter");
+    bench::check(jC->final_absorbed() > jB->final_absorbed(),
+                 "overlap absorbs more of the injected delay (IV-C > IV-B)");
+    bench::check(jI->final_absorbed() > jF->final_absorbed(),
+                 "overlap absorbs more of the injected delay (IV-I > IV-F)");
+    bench::check(jA->final_loss() == 0.0,
+                 "single task (IV-A) has no messages: NIC jitter is a no-op");
+
+    // Losses grow monotonically (within rounding) with severity.
+    bool monotone = true;
+    for (const auto* c : {jB, jC, jF, jI})
+        for (std::size_t i = 1; i < c->points.size(); ++i)
+            if (c->points[i].loss + 1e-9 < c->points[i - 1].loss)
+                monotone = false;
+    bench::check(monotone, "loss is monotone in jitter amplitude");
+
+    const auto* sB = curve_for(straggler, sched::Code::B);
+    const auto* sC = curve_for(straggler, sched::Code::C);
+    if (!sB || !sC) {
+        std::printf("missing straggler curve\n");
+        return 1;
+    }
+    bench::check(sB->points.front().loss == 0.0 &&
+                     sC->points.front().loss == 0.0,
+                 "zero stragglers injects nothing (exact fault-free)");
+    bench::check(sB->final_loss() > 0.0,
+                 "a straggler rank degrades bulk MPI (IV-B)");
+
+    return bench::verdict("CHAOS RESILIENCE");
+}

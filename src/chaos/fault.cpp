@@ -1,0 +1,133 @@
+#include "chaos/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace advect::chaos {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// FNV-1a over the site name: site identity is textual, so the draw stream
+/// survives plan-index reshuffles.
+std::uint64_t site_hash(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// The draw coordinate, folded one component at a time. `salt` separates
+/// the fire draw from the amount draw at the same coordinate.
+std::uint64_t draw_bits(const FaultPlan& plan, int rule_idx, int rank,
+                        int step, std::string_view site, int occurrence,
+                        std::uint64_t salt) {
+    std::uint64_t h = mix64(plan.seed ^ 0x7061706572ull);  // "paper"
+    h = mix64(h ^ static_cast<std::uint64_t>(rule_idx));
+    h = mix64(h ^ static_cast<std::uint64_t>(rank + 1));
+    h = mix64(h ^ static_cast<std::uint64_t>(step + 1));
+    h = mix64(h ^ site_hash(site));
+    h = mix64(h ^ static_cast<std::uint64_t>(occurrence));
+    return mix64(h ^ salt);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double unit(std::uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* kind_name(FaultKind k) {
+    switch (k) {
+        case FaultKind::MsgDelay: return "msg_delay";
+        case FaultKind::MsgDrop: return "msg_drop";
+        case FaultKind::GpuSlow: return "gpu_slow";
+        case FaultKind::GpuFail: return "gpu_fail";
+        case FaultKind::TaskDelay: return "task_delay";
+    }
+    return "?";
+}
+
+bool FaultPlan::can_fire() const {
+    for (const auto& r : rules) {
+        if (r.probability <= 0.0 || r.max_fires == 0) continue;
+        const bool needs_amplitude = r.kind == FaultKind::MsgDelay ||
+                                     r.kind == FaultKind::GpuSlow ||
+                                     r.kind == FaultKind::TaskDelay;
+        if (!needs_amplitude || r.amplitude_us > 0.0) return true;
+    }
+    return false;
+}
+
+bool FaultPlan::has_kind(FaultKind k) const {
+    for (const auto& r : rules)
+        if (r.kind == k && r.probability > 0.0 && r.max_fires != 0)
+            return true;
+    return false;
+}
+
+void sort_log(std::vector<FaultEvent>& log) {
+    std::sort(log.begin(), log.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                  if (a.step != b.step) return a.step < b.step;
+                  if (a.rank != b.rank) return a.rank < b.rank;
+                  if (a.site != b.site) return a.site < b.site;
+                  if (a.occurrence != b.occurrence)
+                      return a.occurrence < b.occurrence;
+                  return a.rule < b.rule;
+              });
+}
+
+std::string format_log(std::span<const FaultEvent> log) {
+    std::ostringstream os;
+    for (const auto& e : log) {
+        os << "step " << e.step << " rank " << e.rank << " "
+           << kind_name(e.kind) << " @" << e.site << "#" << e.occurrence
+           << " rule " << e.rule;
+        if (e.amount_us > 0.0) os << " +" << e.amount_us << "us";
+        os << "\n";
+    }
+    return os.str();
+}
+
+const char* send_site_name(int dim) {
+    static constexpr const char* kNames[3] = {"send_x", "send_y", "send_z"};
+    return kNames[dim];
+}
+
+bool rule_matches(const FaultRule& rule, int rank, int step,
+                  std::string_view site) {
+    if (rule.rank >= 0 && rule.rank != rank) return false;
+    if (step < rule.step_lo || step > rule.step_hi) return false;
+    return rule.site.empty() || rule.site == site;
+}
+
+bool draw_fires(const FaultPlan& plan, int rule_idx, int rank, int step,
+                std::string_view site, int occurrence) {
+    const auto& rule = plan.rules[static_cast<std::size_t>(rule_idx)];
+    if (rule.probability >= 1.0) return true;
+    if (rule.probability <= 0.0) return false;
+    return unit(draw_bits(plan, rule_idx, rank, step, site, occurrence,
+                          /*salt=*/0x66697265ull)) < rule.probability;
+}
+
+double draw_amount_us(const FaultPlan& plan, int rule_idx, int rank, int step,
+                      std::string_view site, int occurrence) {
+    const auto& rule = plan.rules[static_cast<std::size_t>(rule_idx)];
+    if (rule.amplitude_us <= 0.0) return 0.0;
+    return 2.0 * rule.amplitude_us *
+           unit(draw_bits(plan, rule_idx, rank, step, site, occurrence,
+                          /*salt=*/0x616d6f756e74ull));
+}
+
+}  // namespace advect::chaos

@@ -1,0 +1,112 @@
+#pragma once
+/// \file fault.hpp
+/// The chaos fault model (docs/CHAOS.md): a FaultPlan is a seed plus a list
+/// of FaultRules, each describing one class of perturbation (message delay,
+/// message drop, kernel slowdown, transient kernel failure, task straggle)
+/// scoped to a plan-IR site, rank and step window. Whether a given fault
+/// fires — and by how much — is a pure function of
+/// (seed, rule, rank, step, site, occurrence), so the same plan perturbs the
+/// real substrates (src/chaos/inject.hpp) and the DES node model
+/// (sched::RunConfig::faults) identically and replayably.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace advect::chaos {
+
+/// What a rule injects when it fires.
+enum class FaultKind : std::uint8_t {
+    MsgDelay,   ///< hold one message's delivery for a drawn duration
+    MsgDrop,    ///< hold one message until the receiver requests retransmit
+    GpuSlow,    ///< stretch one kernel's device occupancy
+    GpuFail,    ///< fail one kernel launch (executor retries it)
+    TaskDelay,  ///< stall the issuing rank before one plan task
+};
+inline constexpr std::size_t kFaultKindCount = 5;
+
+/// Stable name used in logs and scenario files ("msg_delay", ...).
+[[nodiscard]] const char* kind_name(FaultKind k);
+
+/// One class of injected fault. `site` scopes the rule to a named injection
+/// site: the plan-IR task name for GpuSlow/GpuFail/TaskDelay, the message
+/// channel name ("send_x"/"send_y"/"send_z", see send_site_name) for
+/// MsgDelay/MsgDrop. An empty site matches every site, rank -1 every rank.
+struct FaultRule {
+    FaultKind kind = FaultKind::TaskDelay;
+    std::string site;
+    int rank = -1;
+    int step_lo = 0;
+    int step_hi = std::numeric_limits<int>::max();
+    /// Mean injected delay in microseconds (draws are uniform in
+    /// [0, 2*amplitude), so the mean equals the amplitude). Ignored by
+    /// MsgDrop/GpuFail, whose cost is the timeout/retry they force.
+    double amplitude_us = 0.0;
+    /// Per-occurrence firing probability in [0, 1].
+    double probability = 1.0;
+    /// Cap on fires per (rule, rank); negative = unlimited.
+    int max_fires = -1;
+
+    bool operator==(const FaultRule&) const = default;
+};
+
+/// A complete, replayable chaos scenario.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    /// Receive deadline the executor uses while this plan is active and
+    /// contains drop rules: a timed-out wait triggers retransmission.
+    double timeout_s = 0.005;
+    std::vector<FaultRule> rules;
+
+    /// True when any rule can actually perturb something (nonzero
+    /// probability and, for the delay kinds, nonzero amplitude).
+    [[nodiscard]] bool can_fire() const;
+    [[nodiscard]] bool has_kind(FaultKind k) const;
+};
+
+/// One fault that fired, in either domain (runtime injector or DES
+/// lowering). Logs sorted with sort_log compare equal across replays.
+struct FaultEvent {
+    FaultKind kind{};
+    int rule = 0;        ///< index into FaultPlan::rules
+    int rank = -1;
+    int step = -1;
+    int occurrence = 0;  ///< per (site, step) draw index
+    std::string site;
+    double amount_us = 0.0;  ///< injected delay (0 for drop/fail)
+
+    bool operator==(const FaultEvent&) const = default;
+};
+
+/// Canonical order: (step, rank, site, occurrence, rule). Runtime logs are
+/// appended in wall-clock order, which races; sorting makes them replayable.
+void sort_log(std::vector<FaultEvent>& log);
+
+/// Human-readable one-line-per-event rendering of a (sorted) log.
+[[nodiscard]] std::string format_log(std::span<const FaultEvent> log);
+
+/// Message-channel site name the msg fault kinds key on: "send_x/y/z".
+/// Both the runtime injector (HaloExchange::start_dim) and the DES lowering
+/// (flight tasks carry their dimension) derive the same name, so one rule
+/// matches the same messages in both domains.
+[[nodiscard]] const char* send_site_name(int dim);
+
+/// Does `rule` cover the coordinate (rank, step, site)?
+[[nodiscard]] bool rule_matches(const FaultRule& rule, int rank, int step,
+                                std::string_view site);
+
+/// The probability draw: does rule `rule_idx` of `plan` fire at this
+/// coordinate? Pure; ignores max_fires (callers count fires).
+[[nodiscard]] bool draw_fires(const FaultPlan& plan, int rule_idx, int rank,
+                              int step, std::string_view site, int occurrence);
+
+/// The magnitude draw in microseconds: uniform in [0, 2*amplitude), so the
+/// mean equals the rule's amplitude. Pure; independent of draw_fires.
+[[nodiscard]] double draw_amount_us(const FaultPlan& plan, int rule_idx,
+                                    int rank, int step, std::string_view site,
+                                    int occurrence);
+
+}  // namespace advect::chaos

@@ -1,0 +1,142 @@
+#include "chaos/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+#include "core/coefficients.hpp"
+
+namespace advect::chaos {
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+/// Merge overlapping intervals (sorts in place).
+std::vector<Interval> union_of(std::vector<Interval> iv) {
+    std::sort(iv.begin(), iv.end());
+    std::vector<Interval> out;
+    for (const auto& [a, b] : iv) {
+        if (!out.empty() && a <= out.back().second)
+            out.back().second = std::max(out.back().second, b);
+        else
+            out.push_back({a, b});
+    }
+    return out;
+}
+
+double measure(const std::vector<Interval>& iv) {
+    double m = 0.0;
+    for (const auto& [a, b] : iv) m += b - a;
+    return m;
+}
+
+/// Total length of the intersection of two merged interval lists.
+double intersection_measure(const std::vector<Interval>& a,
+                            const std::vector<Interval>& b) {
+    double m = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        const double lo = std::max(a[i].first, b[j].first);
+        const double hi = std::min(a[i].second, b[j].second);
+        if (hi > lo) m += hi - lo;
+        if (a[i].second < b[j].second)
+            ++i;
+        else
+            ++j;
+    }
+    return m;
+}
+
+}  // namespace
+
+std::vector<ResilienceCurve> resilience_sweep(
+    const sched::RunConfig& base, std::span<const sched::Code> codes,
+    std::span<const double> severities, const ScenarioFn& scenario) {
+    std::vector<ResilienceCurve> out;
+    for (const sched::Code code : codes) {
+        sched::RunConfig cfg = base;
+        // §IV-A and §IV-E are single-node by construction; evaluate them at
+        // nodes=1 so every implementation appears in the report.
+        if (code == sched::Code::A || code == sched::Code::E) cfg.nodes = 1;
+        cfg.faults = nullptr;
+        const double base_gf = sched::model_gflops(code, cfg);
+        if (base_gf <= 0.0) continue;  // infeasible here (e.g. no GPU)
+        ResilienceCurve curve;
+        curve.code = code;
+        curve.label = sched::code_label(code);
+        curve.base_gflops = base_gf;
+        const double flops = static_cast<double>(cfg.n) * cfg.n * cfg.n *
+                             core::kFlopsPerPoint;
+        for (const double x : severities) {
+            const FaultPlan plan = scenario(x);
+            cfg.faults = &plan;
+            const sched::PerturbedStep p =
+                sched::perturbed_step_time(code, cfg);
+            ResiliencePoint pt;
+            pt.x = x;
+            pt.gflops = std::isfinite(p.step) && p.step > 0.0
+                            ? flops / p.step / 1e9
+                            : 0.0;
+            pt.loss = p.loss_fraction();
+            pt.absorbed = p.absorbed_fraction();
+            pt.injected_us = p.injected_per_step * 1e6;
+            curve.points.push_back(pt);
+            cfg.faults = nullptr;
+        }
+        out.push_back(std::move(curve));
+    }
+    return out;
+}
+
+std::string format_curves(std::span<const ResilienceCurve> curves,
+                          const std::string& x_name) {
+    std::string out;
+    char buf[160];
+    for (const auto& c : curves) {
+        std::snprintf(buf, sizeof(buf), "%s  (fault-free %.2f GF)\n",
+                      c.label.c_str(), c.base_gflops);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "  %12s %10s %8s %10s %12s\n",
+                      x_name.c_str(), "GF", "loss", "absorbed",
+                      "injected/step");
+        out += buf;
+        for (const auto& p : c.points) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %12.1f %10.2f %7.1f%% %9.1f%% %10.1fus\n", p.x,
+                          p.gflops, 100.0 * p.loss, 100.0 * p.absorbed,
+                          p.injected_us);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+double absorbed_fraction(std::span<const trace::Span> spans) {
+    std::map<int, std::vector<Interval>> chaos_iv;
+    std::map<int, std::vector<Interval>> work_iv;
+    for (const auto& s : spans) {
+        if (s.t1 <= s.t0) continue;
+        if (std::string_view(s.category) == "chaos")
+            chaos_iv[s.rank].push_back({s.t0, s.t1});
+        else if (s.lane != trace::Lane::Host)
+            work_iv[s.rank].push_back({s.t0, s.t1});
+    }
+    if (chaos_iv.empty()) return 1.0;
+    double sum = 0.0;
+    int ranks = 0;
+    for (auto& [rank, iv] : chaos_iv) {
+        const auto injected = union_of(std::move(iv));
+        const double total = measure(injected);
+        if (total <= 0.0) continue;
+        const auto productive = union_of(std::move(work_iv[rank]));
+        sum += intersection_measure(injected, productive) / total;
+        ++ranks;
+    }
+    return ranks > 0 ? sum / ranks : 1.0;
+}
+
+}  // namespace advect::chaos

@@ -1,0 +1,70 @@
+#pragma once
+/// \file report.hpp
+/// The resilience report (docs/CHAOS.md): sweep a fault scenario's severity
+/// per implementation through the DES node model and report each
+/// implementation's GF degradation curve plus the absorbed-fraction metric —
+/// how much of the injected delay its overlap structure hid. The companion
+/// trace-side estimator computes the absorbed fraction of a *real* chaos run
+/// from recorded spans via sweep-line overlap.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "sched/node_model.hpp"
+#include "trace/span.hpp"
+
+namespace advect::chaos {
+
+/// One severity point of one implementation's curve.
+struct ResiliencePoint {
+    double x = 0.0;            ///< scenario severity (amplitude us, count...)
+    double gflops = 0.0;       ///< perturbed modelled GF
+    double loss = 0.0;         ///< GF fraction lost vs fault-free
+    double absorbed = 1.0;     ///< fraction of injected delay hidden
+    double injected_us = 0.0;  ///< injected delay per step, worst chain
+};
+
+/// One implementation's degradation curve.
+struct ResilienceCurve {
+    sched::Code code{};
+    std::string label;      ///< sched::code_label
+    double base_gflops = 0.0;
+    std::vector<ResiliencePoint> points;
+
+    /// Loss at the last (most severe) point; 0 for an empty curve.
+    [[nodiscard]] double final_loss() const {
+        return points.empty() ? 0.0 : points.back().loss;
+    }
+    [[nodiscard]] double final_absorbed() const {
+        return points.empty() ? 1.0 : points.back().absorbed;
+    }
+};
+
+/// Builds the FaultPlan for severity x (e.g. nic_jitter at amplitude x).
+using ScenarioFn = std::function<FaultPlan(double x)>;
+
+/// Sweep `scenario` over `severities` for each implementation in `codes`,
+/// evaluating the DES model at `base` (single-node implementations §IV-A/E
+/// are evaluated at nodes=1). Implementations infeasible at the
+/// configuration are skipped.
+[[nodiscard]] std::vector<ResilienceCurve> resilience_sweep(
+    const sched::RunConfig& base, std::span<const sched::Code> codes,
+    std::span<const double> severities, const ScenarioFn& scenario);
+
+/// Fixed-point table rendering of the curves (one block per
+/// implementation: severity, GF, loss %, absorbed %).
+[[nodiscard]] std::string format_curves(
+    std::span<const ResilienceCurve> curves, const std::string& x_name);
+
+/// Trace-derived absorbed fraction of a real chaos run: per rank, the
+/// fraction of chaos-span ("chaos" category) busy time that ran concurrently
+/// with productive work (non-chaos spans on the Cpu/Nic/Pcie/Gpu lanes of
+/// the same rank), averaged over ranks that saw injection; 1.0 when no
+/// chaos spans were recorded. Sweep-line over the span set, like
+/// trace::summarize.
+[[nodiscard]] double absorbed_fraction(std::span<const trace::Span> spans);
+
+}  // namespace advect::chaos

@@ -1,0 +1,76 @@
+#include "chaos/scenario.hpp"
+
+#include <stdexcept>
+
+namespace advect::chaos {
+
+FaultPlan nic_jitter(double amplitude_us, std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    FaultRule r;
+    r.kind = FaultKind::MsgDelay;
+    r.amplitude_us = amplitude_us;
+    p.rules.push_back(std::move(r));
+    return p;
+}
+
+FaultPlan message_drops(double probability, std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    FaultRule r;
+    r.kind = FaultKind::MsgDrop;
+    r.probability = probability;
+    p.rules.push_back(std::move(r));
+    return p;
+}
+
+FaultPlan gpu_slowdown(double amplitude_us, std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    FaultRule r;
+    r.kind = FaultKind::GpuSlow;
+    r.amplitude_us = amplitude_us;
+    p.rules.push_back(std::move(r));
+    return p;
+}
+
+FaultPlan gpu_flaky(double probability, std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    FaultRule r;
+    r.kind = FaultKind::GpuFail;
+    r.probability = probability;
+    p.rules.push_back(std::move(r));
+    return p;
+}
+
+FaultPlan straggler_ranks(int stragglers, double amplitude_us,
+                          std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    for (int rank = 0; rank < stragglers; ++rank) {
+        FaultRule r;
+        r.kind = FaultKind::TaskDelay;
+        r.rank = rank;
+        r.amplitude_us = amplitude_us;
+        p.rules.push_back(std::move(r));
+    }
+    return p;
+}
+
+FaultPlan scenario_by_name(const std::string& name, double x,
+                           std::uint64_t seed) {
+    if (name == "nic-jitter") return nic_jitter(x, seed);
+    if (name == "message-drops") return message_drops(x, seed);
+    if (name == "gpu-slow") return gpu_slowdown(x, seed);
+    if (name == "gpu-flaky") return gpu_flaky(x, seed);
+    if (name == "straggler") return straggler_ranks(1, x, seed);
+    throw std::out_of_range("chaos: unknown scenario: " + name);
+}
+
+std::vector<std::string> scenario_names() {
+    return {"nic-jitter", "message-drops", "gpu-slow", "gpu-flaky",
+            "straggler"};
+}
+
+}  // namespace advect::chaos

@@ -1,0 +1,45 @@
+#pragma once
+/// \file scenario.hpp
+/// Named, parameterized fault scenarios (docs/CHAOS.md): each returns a
+/// complete FaultPlan, so a chaos run is fully specified by
+/// (implementation, config, scenario name, amplitude/probability, seed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.hpp"
+
+namespace advect::chaos {
+
+/// Every message delivery jittered by a uniform delay with mean
+/// `amplitude_us` — the paper-adjacent "MPI progression stalls" scenario.
+[[nodiscard]] FaultPlan nic_jitter(double amplitude_us, std::uint64_t seed);
+
+/// Each message independently dropped with probability `probability` and
+/// held until the receiver times out and requests retransmission.
+[[nodiscard]] FaultPlan message_drops(double probability, std::uint64_t seed);
+
+/// Every kernel's device occupancy stretched by a uniform delay with mean
+/// `amplitude_us` (thermal throttling / SM contention).
+[[nodiscard]] FaultPlan gpu_slowdown(double amplitude_us, std::uint64_t seed);
+
+/// Each kernel launch independently fails with probability `probability`
+/// (transient launch error); the plan executor retries it.
+[[nodiscard]] FaultPlan gpu_flaky(double probability, std::uint64_t seed);
+
+/// Ranks 0..stragglers-1 stall before every plan task by a uniform delay
+/// with mean `amplitude_us` (OS noise pinned to some ranks).
+[[nodiscard]] FaultPlan straggler_ranks(int stragglers, double amplitude_us,
+                                        std::uint64_t seed);
+
+/// Scenario registry for advectctl: names are "nic-jitter",
+/// "message-drops", "gpu-slow", "gpu-flaky", "straggler". The meaning of
+/// `x` is per scenario: a mean delay in microseconds for the delay
+/// scenarios (straggler stalls rank 0 only), a probability for the
+/// drop/flaky ones. Throws std::out_of_range for unknown names.
+[[nodiscard]] FaultPlan scenario_by_name(const std::string& name, double x,
+                                         std::uint64_t seed);
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace advect::chaos

@@ -1,8 +1,12 @@
 #include "gpu/device.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "chaos/inject.hpp"
 
 namespace advect::gpu {
 
@@ -114,6 +118,18 @@ void Device::executor_loop() {
                 op.run();
             }
         }
+        // Chaos GpuSlow: stretch this kernel's device occupancy before its
+        // completion event fires, so dependent work genuinely waits.
+        if (op.chaos_slow_us > 0.0) {
+            const double t0 = trace::enabled() ? trace::now() : -1.0;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(op.chaos_slow_us * 1e-6));
+            if (t0 >= 0.0 && trace::enabled())
+                trace::record(std::string("slow:") +
+                                  (op.chaos_site ? op.chaos_site : "kernel"),
+                              "chaos", trace::Lane::Gpu, t0, trace::now(),
+                              op.trace_rank, /*thread=*/-1, op.trace_stream);
+        }
         op.completion->complete();
         // Drop the op's captures (buffer references) before reporting idle,
         // so RAII memory accounting settles no later than synchronize().
@@ -185,6 +201,17 @@ void Stream::launch(Dim3 grid, Dim3 block, std::size_t shared_doubles,
     if (grid.x < 1 || grid.y < 1 || grid.z < 1)
         throw std::invalid_argument("launch: grid dimensions must be >= 1");
     detail::Op op;
+    if (chaos::active()) {
+        // Drawn here on the launching rank thread (not the executor), so
+        // the verdict depends only on this rank's own issue order. A fail
+        // throws before anything is enqueued; the plan executor retries.
+        const chaos::KernelFault f = chaos::on_kernel(trace::current_rank());
+        if (f.fail)
+            throw chaos::TransientError("chaos: injected kernel-launch "
+                                        "failure");
+        op.chaos_slow_us = f.slow_us;
+        op.chaos_site = chaos::current_task_site();
+    }
     op.completion = std::make_shared<detail::EventState>();
     op.is_kernel = true;
     op.trace_name = "kernel";

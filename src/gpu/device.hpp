@@ -58,6 +58,11 @@ struct Op {
     std::shared_ptr<EventState> gate;          // run only after gate completes
     std::shared_ptr<EventState> completion;    // marked done after run
     bool is_kernel = false;
+    /// Chaos GpuSlow verdict drawn at enqueue time (on the launching rank
+    /// thread, for determinism): extra device occupancy the executor sleeps
+    /// after run(), attributed to the enqueuer's plan-task site.
+    double chaos_slow_us = 0.0;
+    const char* chaos_site = nullptr;
     /// Trace context captured at enqueue time; the executor thread records a
     /// span around run() under the enqueuer's rank. Null name = untraced
     /// bookkeeping op (events, stream waits).

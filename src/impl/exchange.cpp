@@ -1,5 +1,6 @@
 #include "impl/exchange.hpp"
 
+#include "chaos/inject.hpp"
 #include "omp/parallel_for.hpp"
 #include "trace/span.hpp"
 
@@ -96,6 +97,9 @@ void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
     const auto& e = plan_.dims[du];
     pack_parallel(f, e.send_low, sbuf_[du][0], team);
     pack_parallel(f, e.send_high, sbuf_[du][1], team);
+    // Chaos msg rules key on the channel site "send_<dim>"; the scope also
+    // numbers the two face messages as occurrences 0 and 1.
+    chaos::ScopedMsgSite msg_site(dim);
     comm.isend(nbr_[du][0], tag_of(dim, /*travel_low=*/1), sbuf_[du][0]);
     comm.isend(nbr_[du][1], tag_of(dim, /*travel_low=*/0), sbuf_[du][1]);
 }
@@ -109,8 +113,27 @@ void HaloExchange::finish_dim(core::Field3& f, int dim,
 
 void HaloExchange::wait_dim(int dim) {
     const auto du = static_cast<std::size_t>(dim);
-    rreq_[du][0].wait();
-    rreq_[du][1].wait();
+    const double timeout = chaos::recv_timeout_seconds();
+    if (timeout <= 0.0) {
+        rreq_[du][0].wait();
+        rreq_[du][1].wait();
+        return;
+    }
+    // A chaos drop scenario is active: wait with the plan's deadline and on
+    // expiry ask the injector to release held sends (the retransmission the
+    // paper's runtime would get from its transport), then wait again. The
+    // bound only guards against a mis-specified scenario.
+    constexpr int kMaxRetransmitAttempts = 1000;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            rreq_[du][0].wait(timeout);
+            rreq_[du][1].wait(timeout);
+            return;
+        } catch (const msg::TimeoutError&) {
+            if (attempt >= kMaxRetransmitAttempts) throw;
+            chaos::request_retransmits();
+        }
+    }
 }
 
 void HaloExchange::unpack_dim(core::Field3& f, int dim,

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "chaos/inject.hpp"
 #include "impl/cpu_kernels.hpp"
 #include "impl/device_field.hpp"
 #include "omp/parallel_for.hpp"
@@ -49,14 +50,25 @@ void PlanExecutor::run_step() {
         run_team_stages();
     else
         run_host_issue();
+    ++step_;
 }
 
 void PlanExecutor::run_host_issue() {
     const bool tracing = trace::enabled();
+    const bool injecting = chaos::active();
     for (std::size_t i = 0; i < plan_->tasks.size(); ++i) {
         const auto& t = plan_->tasks[i];
         const double t0 = tracing ? trace::now() : 0.0;
-        run_task(t, rows_[i]);
+        if (injecting) {
+            // Every fault fires at a named plan task: declare the site
+            // (name, step) for the draws the substrates make underneath,
+            // apply any TaskDelay, and absorb injected launch failures.
+            chaos::ScopedTaskSite site(t.name.c_str(), step_);
+            chaos::on_task_issue(trace::current_rank());
+            run_task_retrying(t, rows_[i]);
+        } else {
+            run_task(t, rows_[i]);
+        }
         if (tracing) {
             const bool on_device = t.lane == trace::Lane::Gpu ||
                                    t.lane == trace::Lane::Pcie;
@@ -89,8 +101,17 @@ void PlanExecutor::run_team_stages() {
         if (id == 0 && master_task_ >= 0) {
             // !$omp master: serial communication, then join in.
             if (tracing) master0 = trace::now();
-            ctx_.exchange->exchange_all(*ctx_.comm, *ctx_.cur,
-                                        /*team=*/nullptr);
+            if (chaos::active()) {
+                const plan::Task& m =
+                    plan_->tasks[static_cast<std::size_t>(master_task_)];
+                chaos::ScopedTaskSite site(m.name.c_str(), step_);
+                chaos::on_task_issue(trace::current_rank());
+                ctx_.exchange->exchange_all(*ctx_.comm, *ctx_.cur,
+                                            /*team=*/nullptr);
+            } else {
+                ctx_.exchange->exchange_all(*ctx_.comm, *ctx_.cur,
+                                            /*team=*/nullptr);
+            }
             if (tracing) master1 = trace::now();
         }
         for (std::size_t s = 0; s < nstages; ++s) {
@@ -140,6 +161,23 @@ void PlanExecutor::run_team_stages() {
 
 gpu::Stream& PlanExecutor::stream(int index) {
     return (*ctx_.streams)[static_cast<std::size_t>(index)];
+}
+
+void PlanExecutor::run_task_retrying(const plan::Task& task,
+                                     const core::RowSpace& rows) {
+    // GpuFail verdicts surface as TransientError from the launch; the task
+    // site stays in scope, so each retry advances the occurrence counter and
+    // draws afresh — a p<1 flake terminates with certainty, and the bound
+    // only guards against a probability-1 rule.
+    constexpr int kMaxLaunchRetries = 64;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            run_task(task, rows);
+            return;
+        } catch (const chaos::TransientError&) {
+            if (attempt >= kMaxLaunchRetries) throw;
+        }
+    }
 }
 
 void PlanExecutor::run_task(const plan::Task& task,

@@ -53,6 +53,9 @@ class PlanExecutor {
     void run_host_issue();
     void run_team_stages();
     void run_task(const plan::Task& task, const core::RowSpace& rows);
+    /// run_task under a chaos session: retries launches the injector failed
+    /// (each retry draws a fresh occurrence, so retries terminate).
+    void run_task_retrying(const plan::Task& task, const core::RowSpace& rows);
     [[nodiscard]] gpu::Stream& stream(int index);
 
     const plan::StepPlan* plan_;
@@ -60,6 +63,7 @@ class PlanExecutor {
     std::vector<core::RowSpace> rows_;  ///< per task; empty where unused
     std::vector<std::size_t> stages_;   ///< TeamStages: Stencil/Copy tasks
     int master_task_ = -1;              ///< TeamStages: MasterExchange task
+    int step_ = 0;  ///< steps completed; the chaos injection coordinate
 };
 
 }  // namespace advect::impl

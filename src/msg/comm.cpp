@@ -6,7 +6,9 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
+#include "chaos/inject.hpp"
 #include "trace/span.hpp"
 
 namespace advect::msg {
@@ -22,6 +24,18 @@ World::World(int nranks)
 Request Communicator::isend(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size());
     trace::ScopedSpan span("isend", "msg", trace::Lane::Nic);
+    // Chaos injection point: the active session may take over delivery
+    // (delay, drop-until-retransmit, or FIFO-queue behind an earlier
+    // perturbed send on this channel). The payload is copied into the
+    // closure, preserving buffered-send semantics either way.
+    if (chaos::active() &&
+        chaos::on_send(rank_, dest,
+                       [mb = &world_->mailbox(dest), src = rank_, tag,
+                        payload = std::vector<double>(data.begin(),
+                                                      data.end())] {
+                           mb->deliver(src, tag, payload);
+                       }))
+        return Request{};
     world_->mailbox(dest).deliver(rank_, tag, data);
     return Request{};  // buffered send: complete on return
 }
@@ -37,6 +51,11 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
 
 void Communicator::recv(int src, int tag, std::span<double> out) {
     irecv(src, tag, out).wait();
+}
+
+void Communicator::recv(int src, int tag, std::span<double> out,
+                        double timeout_seconds) {
+    irecv(src, tag, out).wait(timeout_seconds);
 }
 
 void Communicator::barrier() {

@@ -57,6 +57,11 @@ class Communicator {
     /// Blocking convenience wrappers.
     void send(int dest, int tag, std::span<const double> data);
     void recv(int src, int tag, std::span<double> out);
+    /// recv with a deadline: throws TimeoutError if no matching message
+    /// arrives within `timeout_seconds`. The posted receive stays pending
+    /// (as in MPI, a receive cannot be cancelled for free), so a later
+    /// matching message will still land in `out` — keep it alive.
+    void recv(int src, int tag, std::span<double> out, double timeout_seconds);
 
     /// Synchronise all ranks.
     void barrier();

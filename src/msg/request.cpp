@@ -1,5 +1,7 @@
 #include "msg/request.hpp"
 
+#include <chrono>
+
 #include "trace/span.hpp"
 
 namespace advect::msg {
@@ -29,6 +31,16 @@ void Request::wait() {
     state_->cv.wait(lock, [this] { return state_->done; });
 }
 
+void Request::wait(double timeout_seconds) {
+    if (!state_) return;
+    trace::ScopedSpan span("wait", "msg", trace::Lane::Host);
+    std::unique_lock lock(state_->mu);
+    if (!state_->cv.wait_for(
+            lock, std::chrono::duration<double>(timeout_seconds),
+            [this] { return state_->done; }))
+        throw TimeoutError(0);
+}
+
 bool Request::test() const {
     if (!state_) return true;
     std::lock_guard lock(state_->mu);
@@ -44,6 +56,22 @@ std::size_t Request::count() const {
 void Request::wait_all(std::span<Request> reqs) {
     trace::ScopedSpan span("waitall", "msg", trace::Lane::Host);
     for (auto& r : reqs) r.wait();
+}
+
+void Request::wait_all(std::span<Request> reqs, double timeout_seconds) {
+    trace::ScopedSpan span("waitall", "msg", trace::Lane::Host);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        auto& r = reqs[i];
+        if (!r.state_) continue;
+        std::unique_lock lock(r.state_->mu);
+        if (!r.state_->cv.wait_until(lock, deadline,
+                                     [&r] { return r.state_->done; }))
+            throw TimeoutError(i);
+    }
 }
 
 }  // namespace advect::msg

@@ -10,8 +10,27 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 
 namespace advect::msg {
+
+/// A deadline expired before the awaited operation completed. `index()` is
+/// the position of the stalled request within a wait_all span (0 for a
+/// single wait/recv). The request itself is still pending and may be waited
+/// on again — chaos drop scenarios catch this, trigger retransmission, and
+/// retry (impl::HaloExchange::wait_dim).
+class TimeoutError : public std::runtime_error {
+  public:
+    explicit TimeoutError(std::size_t index)
+        : std::runtime_error("msg: wait deadline expired (request " +
+                             std::to_string(index) + " still pending)"),
+          index_(index) {}
+
+    [[nodiscard]] std::size_t index() const { return index_; }
+
+  private:
+    std::size_t index_;
+};
 
 namespace detail {
 
@@ -44,6 +63,10 @@ class Request {
 
     /// Block until the operation completes.
     void wait();
+    /// Block until the operation completes or `timeout_seconds` elapse;
+    /// throws TimeoutError (index 0) on expiry, leaving the request pending
+    /// and re-waitable.
+    void wait(double timeout_seconds);
     /// Nonblocking completion poll.
     [[nodiscard]] bool test() const;
     /// Number of doubles delivered; valid after completion of a receive.
@@ -51,6 +74,10 @@ class Request {
 
     /// Wait on every request in the span (MPI_Waitall).
     static void wait_all(std::span<Request> reqs);
+    /// wait_all with a shared deadline `timeout_seconds` from now; throws
+    /// TimeoutError naming the first request still pending at expiry.
+    /// Requests completed before the throw stay completed.
+    static void wait_all(std::span<Request> reqs, double timeout_seconds);
 
   private:
     std::shared_ptr<detail::RequestState> state_;

@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "core/coefficients.hpp"
 #include "core/decomposition.hpp"
@@ -103,8 +105,20 @@ class Builder {
     }
 
     double makespan() {
-        for (int t = 0; t < tpn_; ++t) build_task_chain();
+        for (int t = 0; t < tpn_; ++t) {
+            chain_ = t;
+            injected_per_chain_.push_back(0.0);
+            build_task_chain();
+        }
         return eng_.run();
+    }
+
+    /// Injected chaos delay charged to the worst chain over the whole run
+    /// (call after makespan()); the modelled straggler bound.
+    [[nodiscard]] double max_injected() const {
+        double mx = 0.0;
+        for (const double v : injected_per_chain_) mx = std::max(mx, v);
+        return mx;
     }
 
     /// Render the executed schedule (call after makespan()).
@@ -152,23 +166,28 @@ class Builder {
 
   private:
     // --- task helpers ---------------------------------------------------
+    // Each consumes the chaos injection computed for the plan task being
+    // lowered (take_inject), so the perturbation lands on whichever engine
+    // task the Op maps to and is accounted to the current chain.
     TaskId cpu_task(std::string name, double dur, std::vector<TaskId> deps,
                     int units = -1) {
-        return eng_.add_task(std::move(name), dur,
+        return eng_.add_task(std::move(name), dur + take_inject(),
                              {{cpu_, units < 0 ? T_ : units}}, std::move(deps));
     }
     TaskId nic_task(std::string name, double dur, std::vector<TaskId> deps) {
-        return eng_.add_task(std::move(name), dur, {{nic_, 1}},
+        return eng_.add_task(std::move(name), dur + take_inject(), {{nic_, 1}},
                              std::move(deps));
     }
     TaskId cpu_nic_task(std::string name, double dur,
                         std::vector<TaskId> deps) {
-        return eng_.add_task(std::move(name), dur, {{cpu_, T_}, {nic_, 1}},
-                             std::move(deps));
+        return eng_.add_task(std::move(name), dur + take_inject(),
+                             {{cpu_, T_}, {nic_, 1}}, std::move(deps));
     }
-    /// A dependency-only marker (post_recvs, swap): zero duration, no claims.
+    /// A dependency-only marker (post_recvs, swap): zero duration, no claims
+    /// — unless a TaskDelay rule stalls the issuing rank here.
     TaskId free_task(std::string name, std::vector<TaskId> deps) {
-        return eng_.add_task(std::move(name), 0.0, {}, std::move(deps));
+        return eng_.add_task(std::move(name), take_inject(), {},
+                             std::move(deps));
     }
     /// Context-switch penalty per device operation when several MPI tasks
     /// share one GPU (pre-MPS contexts serialize and switching costs).
@@ -178,11 +197,17 @@ class Builder {
                    : 0.0;
     }
     TaskId pcie_task(std::string name, double dur, std::vector<TaskId> deps) {
-        return eng_.add_task(std::move(name), dur + ctx(), {{pcie_, 1}},
-                             std::move(deps));
+        return eng_.add_task(std::move(name), dur + ctx() + take_inject(),
+                             {{pcie_, 1}}, std::move(deps));
     }
     TaskId gpu_task(std::string name, double dur, std::vector<TaskId> deps) {
-        return eng_.add_task(std::move(name), dur + ctx(), {{gpu_, 1}},
+        // GpuFail retries replay the kernel; the extra repetitions count as
+        // injected time for the absorbed-fraction accounting.
+        const double mult = take_retry();
+        if (mult > 1.0 && !injected_per_chain_.empty())
+            injected_per_chain_.back() += (mult - 1.0) * dur;
+        return eng_.add_task(std::move(name),
+                             dur * mult + ctx() + take_inject(), {{gpu_, 1}},
                              std::move(deps));
     }
 
@@ -255,10 +280,132 @@ class Builder {
         return comm_total;
     }
 
+    // --- chaos lowering ---------------------------------------------------
+    /// The injection the current engine task should absorb; set by
+    /// compute_injection, consumed (and charged to the chain) by the task
+    /// helpers above.
+    double take_inject() {
+        const double v = inject_;
+        inject_ = 0.0;
+        if (v > 0.0 && !injected_per_chain_.empty())
+            injected_per_chain_.back() += v;
+        return v;
+    }
+    double take_retry() {
+        const double m = retry_mult_;
+        retry_mult_ = 1.0;
+        return m;
+    }
+    bool model_consume_fire(int rule_idx) {
+        const int cap =
+            cfg_.faults->rules[static_cast<std::size_t>(rule_idx)].max_fires;
+        if (cap < 0) return true;
+        int& n = fires_[{rule_idx, chain_}];
+        if (n >= cap) return false;
+        ++n;
+        return true;
+    }
+
+    /// Draw this plan task's perturbation at (chain, step) — the same pure
+    /// draws the runtime injector makes, mapped onto the lowered graph:
+    /// message faults land on the flight tasks (Comm/CommDma/
+    /// MasterExchange, where delivery delay is felt), kernel faults on the
+    /// kernel tasks, task delays on any task. A dropped message charges the
+    /// receiver's timeout (the retransmission round trip).
+    void compute_injection(const plan::Task& t, int step) {
+        inject_ = 0.0;
+        retry_mult_ = 1.0;
+        if (cfg_.faults == nullptr) return;
+        const chaos::FaultPlan& fp = *cfg_.faults;
+        using chaos::FaultKind;
+        const int nrules = static_cast<int>(fp.rules.size());
+
+        const bool flight = t.op == plan::Op::Comm ||
+                            t.op == plan::Op::CommDma ||
+                            t.op == plan::Op::MasterExchange;
+        if (flight) {
+            int dim_lo = t.payload.dim, dim_hi = t.payload.dim + 1;
+            if (t.op == plan::Op::MasterExchange) {
+                dim_lo = 0;
+                dim_hi = 3;
+            }
+            for (int d = dim_lo; d < dim_hi; ++d) {
+                const char* site = chaos::send_site_name(d);
+                // The dimension's two face messages draw independently
+                // (occurrences 0 and 1, as at runtime); they fly
+                // concurrently, so the flight stretches by the later one.
+                double occ_delay[2] = {0.0, 0.0};
+                bool dropped = false;
+                for (int ri = 0; ri < nrules; ++ri) {
+                    const auto& rule =
+                        fp.rules[static_cast<std::size_t>(ri)];
+                    if (rule.kind != FaultKind::MsgDelay &&
+                        rule.kind != FaultKind::MsgDrop)
+                        continue;
+                    if (!chaos::rule_matches(rule, chain_, step, site))
+                        continue;
+                    for (int occ = 0; occ < 2; ++occ) {
+                        if (!chaos::draw_fires(fp, ri, chain_, step, site,
+                                               occ))
+                            continue;
+                        if (rule.kind == FaultKind::MsgDelay) {
+                            const double a = chaos::draw_amount_us(
+                                fp, ri, chain_, step, site, occ);
+                            // Zero-length delays are not fires, matching the
+                            // runtime injector.
+                            if (a <= 0.0) continue;
+                            if (!model_consume_fire(ri)) continue;
+                            occ_delay[occ] += 1e-6 * a;
+                        } else {
+                            if (!model_consume_fire(ri)) continue;
+                            dropped = true;
+                        }
+                    }
+                }
+                inject_ += std::max(occ_delay[0], occ_delay[1]);
+                if (dropped) inject_ += fp.timeout_s;
+            }
+        }
+
+        const bool kernel = t.op == plan::Op::KernelPack ||
+                            t.op == plan::Op::KernelUnpack ||
+                            t.op == plan::Op::KernelHalo ||
+                            t.op == plan::Op::KernelStencil ||
+                            t.op == plan::Op::KernelFace;
+        for (int ri = 0; ri < nrules; ++ri) {
+            const auto& rule = fp.rules[static_cast<std::size_t>(ri)];
+            if (rule.kind == FaultKind::TaskDelay ||
+                (kernel && rule.kind == FaultKind::GpuSlow)) {
+                if (!chaos::rule_matches(rule, chain_, step, t.name))
+                    continue;
+                if (!chaos::draw_fires(fp, ri, chain_, step, t.name, 0))
+                    continue;
+                const double a =
+                    chaos::draw_amount_us(fp, ri, chain_, step, t.name, 0);
+                if (a <= 0.0) continue;  // not a fire, as at runtime
+                if (!model_consume_fire(ri)) continue;
+                inject_ += 1e-6 * a;
+            } else if (kernel && rule.kind == FaultKind::GpuFail) {
+                if (!chaos::rule_matches(rule, chain_, step, t.name))
+                    continue;
+                // Each fired occurrence is one failed launch the executor
+                // replays; the occurrence advances per retry, as at runtime.
+                for (int occ = 0; occ < 64; ++occ) {
+                    if (!chaos::draw_fires(fp, ri, chain_, step, t.name, occ))
+                        break;
+                    if (!model_consume_fire(ri)) break;
+                    retry_mult_ += 1.0;
+                }
+            }
+        }
+    }
+
     // --- the lowering -----------------------------------------------------
     /// One engine task per plan task, duration by Op from the calibrated
     /// cost models, resource claims by lane.
-    TaskId lower_task(const plan::Task& t, std::vector<TaskId> deps) {
+    TaskId lower_task(const plan::Task& t, std::vector<TaskId> deps,
+                      int step) {
+        compute_injection(t, step);
         const plan::Payload& p = t.payload;
         switch (t.op) {
             case plan::Op::PostRecvs:
@@ -369,7 +516,7 @@ class Builder {
                                        : prev_terminal);
                 }
                 if (t.also_prev_terminal) deps.push_back(prev_terminal);
-                cur.push_back(lower_task(t, std::move(deps)));
+                cur.push_back(lower_task(t, std::move(deps), s));
             }
             prev_terminal = cur[static_cast<std::size_t>(plan_.terminal)];
             prev_ids = std::move(cur);
@@ -388,6 +535,13 @@ class Builder {
     int steps_;
     des::Engine eng_;
     des::ResourceId cpu_{}, nic_{}, pcie_{}, gpu_{};
+
+    // Chaos lowering state (all inert when cfg_.faults == nullptr).
+    int chain_ = 0;                 ///< current task chain = model "rank"
+    double inject_ = 0.0;           ///< pending seconds for the next task
+    double retry_mult_ = 1.0;       ///< pending kernel replay factor
+    std::vector<double> injected_per_chain_;
+    std::map<std::pair<int, int>, int> fires_;  ///< (rule, chain) -> fires
 };
 
 bool config_valid(Code impl, const RunConfig& cfg) {
@@ -452,6 +606,29 @@ double step_time(Code impl, const RunConfig& cfg) {
     } catch (const std::invalid_argument&) {
         return kInf;  // infeasible geometry (e.g. box thickness too large)
     }
+}
+
+PerturbedStep perturbed_step_time(Code impl, const RunConfig& cfg) {
+    PerturbedStep r;
+    RunConfig base = cfg;
+    base.faults = nullptr;
+    r.base_step = step_time(impl, base);
+    r.step = step_time(impl, cfg);
+    if (cfg.faults == nullptr || !config_valid(impl, cfg)) return r;
+    try {
+        // Injected-per-step via the same two-run differencing as step_time,
+        // so the absorbed fraction compares like with like.
+        constexpr int kShort = 2, kLong = 6;
+        Builder a(impl, cfg, kShort);
+        Builder b(impl, cfg, kLong);
+        a.makespan();
+        b.makespan();
+        r.injected_per_step =
+            (b.max_injected() - a.max_injected()) / (kLong - kShort);
+    } catch (const std::invalid_argument&) {
+        // infeasible geometry: leave the infinite defaults
+    }
+    return r;
 }
 
 double model_gflops(Code impl, const RunConfig& cfg) {

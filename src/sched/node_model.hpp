@@ -7,8 +7,12 @@
 /// with durations from the calibrated cost models. The steady-state step
 /// time of the symmetric node gives the machine-wide GF the paper plots.
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 
+#include "chaos/fault.hpp"
 #include "model/cpu_cost.hpp"
 #include "model/gpu_cost.hpp"
 #include "plan/ir.hpp"
@@ -32,6 +36,12 @@ struct RunConfig {
     int block_x = 32;
     int block_y = 8;
     int box_thickness = 1;
+    /// Optional chaos scenario lowered into the DES as duration
+    /// perturbations (docs/CHAOS.md): message faults stretch the flight
+    /// tasks, kernel faults the kernel tasks, task delays any task. Rule
+    /// rank indices address the node-local task chain here (the runtime
+    /// injector sees global ranks). Not owned; must outlive the calls.
+    const chaos::FaultPlan* faults = nullptr;
 
     [[nodiscard]] int tasks_per_node() const {
         return std::max(1, machine.cores_per_node() / threads_per_task);
@@ -56,5 +66,36 @@ struct RunConfig {
 
 /// Machine-wide GF at the paper's analytic flop count (53/point/step).
 [[nodiscard]] double model_gflops(Code impl, const RunConfig& cfg);
+
+/// Modelled degradation of one configuration under its chaos plan: the
+/// fault-free and perturbed steady-state step times, plus the injected
+/// delay per step charged to the worst task chain (the straggler bound,
+/// same estimator as step_time). The derived metrics quantify resilience.
+struct PerturbedStep {
+    double base_step = std::numeric_limits<double>::infinity();
+    double step = std::numeric_limits<double>::infinity();
+    double injected_per_step = 0.0;
+
+    /// GF fraction lost to the faults: 1 - base/perturbed, >= 0.
+    [[nodiscard]] double loss_fraction() const {
+        if (!(base_step > 0.0) || !std::isfinite(base_step) ||
+            !std::isfinite(step) || !(step > 0.0))
+            return 0.0;
+        return std::max(0.0, 1.0 - base_step / step);
+    }
+    /// Fraction of the injected delay overlap hid: 1 - (step-base)/injected,
+    /// clamped to [0, 1]. Trivially 1 when nothing was injected.
+    [[nodiscard]] double absorbed_fraction() const {
+        if (injected_per_step <= 0.0 || !std::isfinite(step) ||
+            !std::isfinite(base_step))
+            return 1.0;
+        return std::clamp(1.0 - (step - base_step) / injected_per_step, 0.0,
+                          1.0);
+    }
+};
+
+/// Evaluate cfg with and without cfg.faults (same estimator as step_time).
+[[nodiscard]] PerturbedStep perturbed_step_time(Code impl,
+                                                const RunConfig& cfg);
 
 }  // namespace advect::sched

@@ -7,6 +7,12 @@
 ///   advectctl trace   [impl] [n] [steps] [tasks] [threads] [out.json]
 ///       run one implementation with runtime tracing on, write a Chrome
 ///       trace-event JSON timeline and print the measured overlap summary
+///   advectctl chaos   [scenario] [impl] [x] [seed] [n] [steps] [tasks]
+///                     [threads] [out.json]
+///       run one implementation for real under a named fault scenario
+///       (docs/CHAOS.md), export a Chrome trace with the injected spans in
+///       their own category, print the fault log and the trace-derived
+///       absorbed fraction, and verify against the fault-free reference
 ///   advectctl plan    [impl] [n] [tasks] [box] [out.json]
 ///       print one implementation's step plan (tasks, lanes, dependencies) —
 ///       the IR both the executor and the DES model consume — and
@@ -23,11 +29,16 @@
 ///   advectctl impls
 ///       list the nine §IV implementations
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "chaos/inject.hpp"
+#include "chaos/report.hpp"
+#include "chaos/scenario.hpp"
 #include "core/decomposition.hpp"
 #include "impl/registry.hpp"
 #include "plan/builders.hpp"
@@ -119,6 +130,74 @@ int cmd_trace(int argc, char** argv) {
     std::fputs(trace::format_summary(trace::summarize(spans)).c_str(),
                stdout);
     return 0;
+}
+
+int cmd_chaos(int argc, char** argv) {
+    namespace chaos = advect::chaos;
+    namespace trace = advect::trace;
+    const std::string scenario = argc > 0 ? argv[0] : "nic-jitter";
+    const std::string id = argc > 1 ? argv[1] : "mpi_nonblocking";
+    const double x = argc > 2 ? std::atof(argv[2]) : 200.0;
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    impl::SolverConfig cfg;
+    cfg.problem =
+        core::AdvectionProblem::standard(argc > 4 ? std::atoi(argv[4]) : 24);
+    cfg.steps = argc > 5 ? std::atoi(argv[5]) : 8;
+    cfg.ntasks = argc > 6 ? std::atoi(argv[6]) : 4;
+    cfg.threads_per_task = argc > 7 ? std::atoi(argv[7]) : 2;
+    cfg.block_x = 8;
+    cfg.block_y = 4;
+    const std::string out_path =
+        argc > 8 ? argv[8] : (id + ".chaos.trace.json");
+
+    const chaos::FaultPlan plan = chaos::scenario_by_name(scenario, x, seed);
+    const auto& entry = impl::find_implementation(id);
+    if (!entry.uses_mpi) cfg.ntasks = 1;
+    std::printf("chaos '%s' (x=%g, seed=%llu) on %d^3 x %d steps of %s "
+                "(%s)...\n",
+                scenario.c_str(), x,
+                static_cast<unsigned long long>(seed), cfg.problem.domain.n,
+                cfg.steps, entry.id.c_str(), entry.paper_section.c_str());
+
+    trace::reset();
+    trace::set_enabled(true);
+    auto session = std::make_unique<chaos::Session>(plan);
+    const auto r = entry.solve(cfg);
+    const auto log = session->log();
+    const double injected_ms = 1e3 * session->max_rank_injected_seconds();
+    session.reset();  // join delivery threads before snapshotting spans
+    trace::set_enabled(false);
+    const auto spans = trace::snapshot();
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fputs(trace::to_chrome_json(spans).c_str(), f);
+    std::fclose(f);
+
+    const auto ref = core::run_reference(cfg.problem, cfg.steps);
+    const bool ok = r.state.interior_equals(ref);
+    std::printf("  wall %.3f s   %zu faults fired   worst-rank injected "
+                "%.2f ms\n",
+                r.wall_seconds, log.size(), injected_ms);
+    std::printf("  trace absorbed fraction %.1f%%   %zu spans -> %s "
+                "(chaos spans in their own category)\n",
+                100.0 * chaos::absorbed_fraction(spans), spans.size(),
+                out_path.c_str());
+    if (!log.empty()) {
+        constexpr std::size_t kShow = 10;
+        std::fputs(chaos::format_log({log.data(),
+                                      std::min(log.size(), kShow)})
+                       .c_str(),
+                   stdout);
+        if (log.size() > kShow)
+            std::printf("  ... (%zu more)\n", log.size() - kShow);
+    }
+    std::printf("  matches reference: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
 }
 
 int cmd_plan(int argc, char** argv) {
@@ -279,11 +358,14 @@ int cmd_impls() {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: advectctl "
-                 "<solve|trace|plan|model|tune|scaling|gantt|machines|impls> "
-                 "[args...]\n"
+                 "usage: advectctl <solve|trace|chaos|plan|model|tune|"
+                 "scaling|gantt|machines|impls> [args...]\n"
                  "  solve   [impl] [n] [steps] [tasks] [threads]\n"
                  "  trace   [impl] [n] [steps] [tasks] [threads] [out.json]\n"
+                 "  chaos   [scenario] [impl] [x] [seed] [n] [steps] [tasks]"
+                 " [threads] [out.json]\n"
+                 "          scenarios: nic-jitter message-drops gpu-slow"
+                 " gpu-flaky straggler\n"
                  "  plan    [impl] [n] [tasks] [box] [out.json]\n"
                  "  model   [machine] [impl] [nodes] [threads] [box]\n"
                  "  tune    [machine] [nodes]\n"
@@ -302,6 +384,7 @@ int main(int argc, char** argv) {
     try {
         if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
         if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+        if (cmd == "chaos") return cmd_chaos(argc - 2, argv + 2);
         if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
         if (cmd == "model") return cmd_model(argc - 2, argv + 2);
         if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);

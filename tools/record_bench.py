@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Run bench_kernels and append the results to BENCH_kernels.json.
+"""Run a tracked bench binary and append the results to its trajectory file.
 
 The repo-root BENCH_kernels.json holds the performance trajectory of the
 functional substrate across PRs: one entry per recorded run, each with the
 google-benchmark numbers for the tracked kernel series. Subsequent PRs append
 entries (label them after the change) so regressions are visible in the diff.
+With --chaos, the binary is bench_chaos_resilience instead and its modelled
+jitter-resilience sweep (docs/CHAOS.md) is recorded to BENCH_chaos.json the
+same way.
 
 Usage:
     tools/record_bench.py --binary build/bench/bench_kernels \
         --label pr1-fastpath [--note "..."] [--out BENCH_kernels.json]
+    tools/record_bench.py --chaos --binary build/bench/bench_chaos_resilience \
+        --label pr4-chaos [--out BENCH_chaos.json]
 
-Stdlib only; requires the bench binary to be built first (CMake target
-`bench_record` does both).
+Stdlib only; requires the bench binary to be built first (CMake targets
+`bench_record` / `bench_record_chaos` do both).
 """
 
 import argparse
@@ -55,37 +60,55 @@ def extract(report: dict) -> dict:
     return series
 
 
+def run_chaos_bench(binary: str) -> dict:
+    out = subprocess.run([binary, "--json"], check=True, capture_output=True,
+                         text=True)
+    return json.loads(out.stdout)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--binary", required=True, help="bench_kernels executable")
+    ap.add_argument("--binary", required=True, help="bench executable")
     ap.add_argument("--label", required=True,
                     help="entry label, e.g. 'seed' or 'pr1-fastpath'")
     ap.add_argument("--note", default="", help="free-form context for the run")
+    ap.add_argument("--chaos", action="store_true",
+                    help="record a bench_chaos_resilience sweep to "
+                         "BENCH_chaos.json instead of kernel numbers")
     ap.add_argument("--out", default=None,
-                    help="trajectory file (default: BENCH_kernels.json next "
-                         "to this script's repo root)")
+                    help="trajectory file (default: BENCH_kernels.json / "
+                         "BENCH_chaos.json next to this script's repo root)")
     args = ap.parse_args()
 
+    default_name = "BENCH_chaos.json" if args.chaos else "BENCH_kernels.json"
     out_path = pathlib.Path(args.out) if args.out else (
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json")
+        pathlib.Path(__file__).resolve().parent.parent / default_name)
 
-    report = run_bench(args.binary)
-    ctx = report.get("context", {})
     entry = {
         "label": args.label,
         "date": datetime.date.today().isoformat(),
         "host": platform.node(),
-        "num_cpus": ctx.get("num_cpus"),
-        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-        "benchmarks": extract(report),
     }
+    if args.chaos:
+        entry["resilience"] = run_chaos_bench(args.binary)
+        description = ("Modelled jitter-resilience trajectory of "
+                       "bench_chaos_resilience (docs/CHAOS.md): GF "
+                       "degradation and absorbed fraction per implementation "
+                       "under the seeded fault scenarios. Entries are "
+                       "appended per PR by tools/record_bench.py --chaos.")
+    else:
+        report = run_bench(args.binary)
+        ctx = report.get("context", {})
+        entry["num_cpus"] = ctx.get("num_cpus")
+        entry["mhz_per_cpu"] = ctx.get("mhz_per_cpu")
+        entry["benchmarks"] = extract(report)
+        description = ("Performance trajectory of bench_kernels; see "
+                       "docs/PERF.md. Entries are appended per PR by "
+                       "tools/record_bench.py.")
     if args.note:
         entry["note"] = args.note
 
-    doc = {"description": "Performance trajectory of bench_kernels; see "
-                          "docs/PERF.md. Entries are appended per PR by "
-                          "tools/record_bench.py.",
-           "entries": []}
+    doc = {"description": description, "entries": []}
     if out_path.exists():
         doc = json.loads(out_path.read_text())
     doc["entries"] = [e for e in doc["entries"] if e["label"] != args.label]
