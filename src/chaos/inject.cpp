@@ -193,7 +193,12 @@ void Session::deliver_async(Channel& ch, std::uint64_t ticket, double delay_s,
     std::jthread th([this, &ch, ticket, delay_s, held, epoch0,
                      deliver = std::move(deliver),
                      span_name = std::move(span_name), rank] {
-        const double t0 = trace::enabled() ? trace::now() : -1.0;
+        // Only a perturbed delivery records a "chaos" span. An unfaulted send
+        // that merely queued behind one (FIFO head-of-line) is left silent:
+        // whether it queues at all depends on wall-clock timing, and the
+        // injected-time report must count injected faults, not their wake.
+        const bool perturbed = held || delay_s > 0.0;
+        const double t0 = perturbed && trace::enabled() ? trace::now() : -1.0;
         if (delay_s > 0.0) sleep_seconds(delay_s);
         std::unique_lock lk(ch.mu);
         ch.cv.wait(lk, [&] {
@@ -297,11 +302,13 @@ ScopedTaskSite::~ScopedTaskSite() {
     site.kernel_occ = prev_kernel_occ_;
 }
 
-ScopedMsgSite::ScopedMsgSite(int dim) {
+ScopedMsgSite::ScopedMsgSite(int dim) : ScopedMsgSite(send_site_name(dim)) {}
+
+ScopedMsgSite::ScopedMsgSite(const char* name) {
     auto& site = thread_site();
     prev_site_ = site.msg_site;
     prev_occ_ = site.send_occ;
-    site.msg_site = send_site_name(dim);
+    site.msg_site = name;
     site.send_occ = 0;
 }
 

@@ -149,11 +149,16 @@ class ScopedTaskSite {
     int prev_kernel_occ_;
 };
 
-/// Declares the message channel ("send_<dim>") sends from this scope belong
-/// to (set by HaloExchange::start_dim). Resets the send occurrence counter.
+/// Declares the message channel sends from this scope belong to: the halo
+/// channel "send_<dim>" (set by HaloExchange::start_dim) or a named system
+/// channel like "allreduce_sum" (set by the msg collectives, so fault rules
+/// can target collective traffic by site). The site pointer must outlive
+/// the scope (both callers pass static strings). Resets the send
+/// occurrence counter.
 class ScopedMsgSite {
   public:
     explicit ScopedMsgSite(int dim);
+    explicit ScopedMsgSite(const char* site);
     ~ScopedMsgSite();
     ScopedMsgSite(const ScopedMsgSite&) = delete;
     ScopedMsgSite& operator=(const ScopedMsgSite&) = delete;

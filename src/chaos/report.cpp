@@ -1,57 +1,16 @@
 #include "chaos/report.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <map>
+#include <set>
 #include <string_view>
 #include <utility>
+
+#include "trace/export.hpp"
 
 #include "core/coefficients.hpp"
 
 namespace advect::chaos {
-
-namespace {
-
-using Interval = std::pair<double, double>;
-
-/// Merge overlapping intervals (sorts in place).
-std::vector<Interval> union_of(std::vector<Interval> iv) {
-    std::sort(iv.begin(), iv.end());
-    std::vector<Interval> out;
-    for (const auto& [a, b] : iv) {
-        if (!out.empty() && a <= out.back().second)
-            out.back().second = std::max(out.back().second, b);
-        else
-            out.push_back({a, b});
-    }
-    return out;
-}
-
-double measure(const std::vector<Interval>& iv) {
-    double m = 0.0;
-    for (const auto& [a, b] : iv) m += b - a;
-    return m;
-}
-
-/// Total length of the intersection of two merged interval lists.
-double intersection_measure(const std::vector<Interval>& a,
-                            const std::vector<Interval>& b) {
-    double m = 0.0;
-    std::size_t i = 0, j = 0;
-    while (i < a.size() && j < b.size()) {
-        const double lo = std::max(a[i].first, b[j].first);
-        const double hi = std::min(a[i].second, b[j].second);
-        if (hi > lo) m += hi - lo;
-        if (a[i].second < b[j].second)
-            ++i;
-        else
-            ++j;
-    }
-    return m;
-}
-
-}  // namespace
 
 std::vector<ResilienceCurve> resilience_sweep(
     const sched::RunConfig& base, std::span<const sched::Code> codes,
@@ -116,27 +75,22 @@ std::string format_curves(std::span<const ResilienceCurve> curves,
 }
 
 double absorbed_fraction(std::span<const trace::Span> spans) {
-    std::map<int, std::vector<Interval>> chaos_iv;
-    std::map<int, std::vector<Interval>> work_iv;
-    for (const auto& s : spans) {
-        if (s.t1 <= s.t0) continue;
-        if (std::string_view(s.category) == "chaos")
-            chaos_iv[s.rank].push_back({s.t0, s.t1});
-        else if (s.lane != trace::Lane::Host)
-            work_iv[s.rank].push_back({s.t0, s.t1});
-    }
-    if (chaos_iv.empty()) return 1.0;
+    // One sweep line for the whole repo: trace::summarize already separates
+    // injected ("chaos" category) time from lane work and measures their
+    // intersection; this statistic is just its per-rank mean.
+    std::set<int> ranks;
+    for (const auto& s : spans)
+        if (std::string_view(s.category) == "chaos" && s.t1 > s.t0)
+            ranks.insert(s.rank);
     double sum = 0.0;
-    int ranks = 0;
-    for (auto& [rank, iv] : chaos_iv) {
-        const auto injected = union_of(std::move(iv));
-        const double total = measure(injected);
-        if (total <= 0.0) continue;
-        const auto productive = union_of(std::move(work_iv[rank]));
-        sum += intersection_measure(injected, productive) / total;
-        ++ranks;
+    int counted = 0;
+    for (int rank : ranks) {
+        const trace::OverlapReport r = trace::summarize_rank(spans, rank);
+        if (r.injected <= 0.0) continue;
+        sum += r.absorbed();
+        ++counted;
     }
-    return ranks > 0 ? sum / ranks : 1.0;
+    return counted > 0 ? sum / counted : 1.0;
 }
 
 }  // namespace advect::chaos

@@ -63,8 +63,9 @@ using ScenarioFn = std::function<FaultPlan(double x)>;
 /// fraction of chaos-span ("chaos" category) busy time that ran concurrently
 /// with productive work (non-chaos spans on the Cpu/Nic/Pcie/Gpu lanes of
 /// the same rank), averaged over ranks that saw injection; 1.0 when no
-/// chaos spans were recorded. Sweep-line over the span set, like
-/// trace::summarize.
+/// chaos spans were recorded. Computed as the per-rank mean of
+/// trace::OverlapReport::absorbed() — one sweep line serves both the
+/// overlap summary and this statistic.
 [[nodiscard]] double absorbed_fraction(std::span<const trace::Span> spans);
 
 }  // namespace advect::chaos

@@ -1,0 +1,354 @@
+#include "chaos/scenario_file.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace advect::chaos {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader: objects, arrays, strings, numbers, true/false/null.
+// Only what the scenario schema needs; rejects everything else loudly.
+
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> items;
+    std::vector<std::pair<std::string, Value>> members;
+
+    [[nodiscard]] const Value* find(const std::string& key) const {
+        for (const auto& [k, v] : members)
+            if (k == key) return &v;
+        return nullptr;
+    }
+};
+
+class Parser {
+  public:
+    Parser(const std::string& text, const std::string& origin)
+        : s_(text), origin_(origin) {}
+
+    Value parse() {
+        Value v = value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i)
+            if (s_[i] == '\n') ++line;
+        throw std::invalid_argument(origin_ + ":" + std::to_string(line) +
+                                    ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + s_[pos_] + "'");
+        ++pos_;
+    }
+
+    Value value() {
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': {
+                Value v;
+                v.kind = Value::Kind::String;
+                v.str = string();
+                return v;
+            }
+            case 't':
+            case 'f': return boolean();
+            case 'n': {
+                literal("null");
+                return Value{};
+            }
+            default: return number();
+        }
+    }
+
+    Value object() {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            if (peek() != '"') fail("expected a quoted object key");
+            std::string key = string();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value array() {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size()) fail("unterminated escape");
+                switch (s_[pos_++]) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    default: fail("unsupported string escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= s_.size()) fail("unterminated string");
+        ++pos_;  // closing quote
+        return out;
+    }
+
+    Value boolean() {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (s_[pos_] == 't') {
+            literal("true");
+            v.b = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    void literal(const char* word) {
+        for (const char* p = word; *p != '\0'; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                fail(std::string("expected '") + word + "'");
+            ++pos_;
+        }
+    }
+
+    Value number() {
+        skip_ws();
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        try {
+            Value v;
+            v.kind = Value::Kind::Number;
+            v.num = std::stod(s_.substr(start, pos_ - start));
+            return v;
+        } catch (const std::exception&) {
+            pos_ = start;
+            fail("malformed number");
+        }
+    }
+
+    const std::string& s_;
+    const std::string& origin_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping with errors that name the offending key.
+
+[[noreturn]] void bad_key(const std::string& origin, const std::string& key,
+                          const std::string& what) {
+    throw std::invalid_argument(origin + ": " + key + ": " + what);
+}
+
+double require_number(const Value& v, const std::string& origin,
+                      const std::string& key) {
+    if (v.kind != Value::Kind::Number)
+        bad_key(origin, key, "expected a number");
+    return v.num;
+}
+
+int require_int(const Value& v, const std::string& origin,
+                const std::string& key) {
+    const double d = require_number(v, origin, key);
+    if (d != std::floor(d) || d < std::numeric_limits<int>::min() ||
+        d > std::numeric_limits<int>::max())
+        bad_key(origin, key, "expected an integer");
+    return static_cast<int>(d);
+}
+
+FaultKind require_kind(const Value& v, const std::string& origin,
+                       const std::string& key) {
+    if (v.kind != Value::Kind::String)
+        bad_key(origin, key, "expected a fault-kind string");
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        if (v.str == kind_name(kind)) return kind;
+    }
+    bad_key(origin, key,
+            "unknown fault kind \"" + v.str +
+                "\" (expected msg_delay, msg_drop, gpu_slow, gpu_fail or "
+                "task_delay)");
+}
+
+FaultRule rule_from_value(const Value& v, const std::string& origin,
+                          const std::string& prefix) {
+    if (v.kind != Value::Kind::Object)
+        bad_key(origin, prefix, "expected a rule object");
+    FaultRule rule;
+    bool have_kind = false;
+    for (const auto& [key, val] : v.members) {
+        const std::string path = prefix + "." + key;
+        if (key == "kind") {
+            rule.kind = require_kind(val, origin, path);
+            have_kind = true;
+        } else if (key == "site") {
+            if (val.kind != Value::Kind::String)
+                bad_key(origin, path, "expected a string");
+            rule.site = val.str;
+        } else if (key == "rank") {
+            rule.rank = require_int(val, origin, path);
+        } else if (key == "step_lo") {
+            rule.step_lo = require_int(val, origin, path);
+        } else if (key == "step_hi") {
+            rule.step_hi = require_int(val, origin, path);
+        } else if (key == "amplitude_us") {
+            rule.amplitude_us = require_number(val, origin, path);
+            if (rule.amplitude_us < 0.0)
+                bad_key(origin, path, "expected a non-negative number");
+        } else if (key == "probability") {
+            rule.probability = require_number(val, origin, path);
+            if (rule.probability < 0.0 || rule.probability > 1.0)
+                bad_key(origin, path, "expected a number in [0, 1]");
+        } else if (key == "max_fires") {
+            rule.max_fires = require_int(val, origin, path);
+        } else {
+            bad_key(origin, path, "unknown rule key");
+        }
+    }
+    if (!have_kind) bad_key(origin, prefix + ".kind", "missing required key");
+    if (rule.step_hi < rule.step_lo)
+        bad_key(origin, prefix + ".step_hi", "window ends before step_lo");
+    return rule;
+}
+
+}  // namespace
+
+FaultPlan plan_from_json(const std::string& text, const std::string& origin) {
+    const Value doc = Parser(text, origin).parse();
+    if (doc.kind != Value::Kind::Object)
+        throw std::invalid_argument(origin +
+                                    ": expected a top-level JSON object");
+    FaultPlan plan;
+    bool have_rules = false;
+    for (const auto& [key, val] : doc.members) {
+        if (key == "seed") {
+            const double d = require_number(val, origin, key);
+            if (d != std::floor(d) || d < 0.0 || d > 1.8446744073709552e19)
+                bad_key(origin, key, "expected a non-negative integer");
+            plan.seed = static_cast<std::uint64_t>(d);
+        } else if (key == "timeout_s") {
+            plan.timeout_s = require_number(val, origin, key);
+            if (plan.timeout_s <= 0.0)
+                bad_key(origin, key, "expected a positive number");
+        } else if (key == "rules") {
+            if (val.kind != Value::Kind::Array)
+                bad_key(origin, key, "expected an array of rule objects");
+            for (std::size_t i = 0; i < val.items.size(); ++i)
+                plan.rules.push_back(rule_from_value(
+                    val.items[i], origin,
+                    "rules[" + std::to_string(i) + "]"));
+            have_rules = true;
+        } else {
+            bad_key(origin, key, "unknown key");
+        }
+    }
+    if (!have_rules)
+        throw std::invalid_argument(origin + ": rules: missing required key");
+    return plan;
+}
+
+FaultPlan load_plan_file(const std::string& path) {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!f) throw std::runtime_error("chaos: cannot read " + path);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0)
+        text.append(buf, n);
+    return plan_from_json(text, path);
+}
+
+std::string plan_to_json(const FaultPlan& plan) {
+    std::ostringstream os;
+    os << "{\n  \"seed\": " << plan.seed
+       << ",\n  \"timeout_s\": " << plan.timeout_s << ",\n  \"rules\": [";
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+        const FaultRule& r = plan.rules[i];
+        os << (i == 0 ? "" : ",") << "\n    { \"kind\": \""
+           << kind_name(r.kind) << "\", \"site\": \"" << r.site
+           << "\", \"rank\": " << r.rank << ", \"step_lo\": " << r.step_lo
+           << ", \"step_hi\": " << r.step_hi;
+        os << ", \"amplitude_us\": " << r.amplitude_us
+           << ", \"probability\": " << r.probability
+           << ", \"max_fires\": " << r.max_fires << " }";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+}  // namespace advect::chaos

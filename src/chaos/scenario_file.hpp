@@ -1,0 +1,49 @@
+#pragma once
+/// \file scenario_file.hpp
+/// JSON fault-scenario files (docs/CHAOS.md §scenario files): a FaultPlan
+/// written out as data, so a chaos experiment can be version-controlled and
+/// replayed instead of living in command-line flags. The schema mirrors the
+/// FaultPlan/FaultRule structs field for field:
+///
+///     {
+///       "seed": 42,
+///       "timeout_s": 0.005,
+///       "rules": [
+///         { "kind": "msg_delay",       // msg_drop | gpu_slow | gpu_fail
+///                                      // | task_delay
+///           "site": "send_x",          // optional; "" = every site
+///           "rank": -1,                // optional; -1 = every rank
+///           "step_lo": 0,              // optional window, inclusive
+///           "step_hi": 100,            //   (harness collectives run at
+///                                      //    step -1; set step_lo to -1 to
+///                                      //    cover them)
+///           "amplitude_us": 200.0,     // optional; mean injected delay
+///           "probability": 1.0,        // optional, in [0, 1]
+///           "max_fires": -1 }          // optional; < 0 = unlimited
+///       ]
+///     }
+///
+/// Parsing is strict: an unknown key, a wrong type, or an out-of-range
+/// value raises std::invalid_argument naming the offending key
+/// ("rules[2].probability: expected a number in [0, 1]").
+
+#include <string>
+
+#include "chaos/fault.hpp"
+
+namespace advect::chaos {
+
+/// Parse a scenario from JSON text. `origin` names the source in error
+/// messages (a file path, or e.g. "<inline>").
+[[nodiscard]] FaultPlan plan_from_json(const std::string& text,
+                                       const std::string& origin = "<json>");
+
+/// Read and parse a scenario file; throws std::runtime_error if the file
+/// cannot be read, std::invalid_argument if it does not match the schema.
+[[nodiscard]] FaultPlan load_plan_file(const std::string& path);
+
+/// Inverse of plan_from_json: render `plan` as schema-conformant JSON text
+/// (used by tests to round-trip and by `advectctl chaos --dump`).
+[[nodiscard]] std::string plan_to_json(const FaultPlan& plan);
+
+}  // namespace advect::chaos

@@ -104,14 +104,14 @@ void HaloExchange::start_dim(msg::Communicator& comm, const core::Field3& f,
     comm.isend(nbr_[du][1], tag_of(dim, /*travel_low=*/0), sbuf_[du][1]);
 }
 
-void HaloExchange::finish_dim(core::Field3& f, int dim,
-                              omp::ThreadTeam* team) {
+void HaloExchange::finish_dim(msg::Communicator& comm, core::Field3& f,
+                              int dim, omp::ThreadTeam* team) {
     trace::ScopedSpan span(kFinishDim[dim], "impl", trace::Lane::Host);
-    wait_dim(dim);
+    wait_dim(comm, dim);
     unpack_dim(f, dim, team);
 }
 
-void HaloExchange::wait_dim(int dim) {
+void HaloExchange::wait_dim(msg::Communicator& comm, int dim) {
     const auto du = static_cast<std::size_t>(dim);
     const double timeout = chaos::recv_timeout_seconds();
     if (timeout <= 0.0) {
@@ -120,9 +120,10 @@ void HaloExchange::wait_dim(int dim) {
         return;
     }
     // A chaos drop scenario is active: wait with the plan's deadline and on
-    // expiry ask the injector to release held sends (the retransmission the
-    // paper's runtime would get from its transport), then wait again. The
-    // bound only guards against a mis-specified scenario.
+    // expiry ask the transport to release held sends job-wide (the
+    // retransmission the paper's runtime would get from its transport),
+    // then wait again. The bound only guards against a mis-specified
+    // scenario.
     constexpr int kMaxRetransmitAttempts = 1000;
     for (int attempt = 0;; ++attempt) {
         try {
@@ -131,7 +132,7 @@ void HaloExchange::wait_dim(int dim) {
             return;
         } catch (const msg::TimeoutError&) {
             if (attempt >= kMaxRetransmitAttempts) throw;
-            chaos::request_retransmits();
+            comm.request_retransmits();
         }
     }
 }
@@ -150,7 +151,7 @@ void HaloExchange::exchange_all(msg::Communicator& comm, core::Field3& f,
     post_recvs(comm);
     for (int d = 0; d < 3; ++d) {
         start_dim(comm, f, d, team);
-        finish_dim(f, d, team);
+        finish_dim(comm, f, d, team);
     }
 }
 

@@ -41,11 +41,14 @@ class HaloExchange {
     void start_dim(msg::Communicator& comm, const core::Field3& f, int dim,
                    advect::omp::ThreadTeam* team = nullptr);
     /// Complete both receives of one dimension and unpack into halos.
-    void finish_dim(core::Field3& f, int dim,
+    void finish_dim(msg::Communicator& comm, core::Field3& f, int dim,
                     advect::omp::ThreadTeam* team = nullptr);
     /// First half of finish_dim: block until both of `dim`'s receives have
-    /// landed (the plan executor's Comm/Wait tasks).
-    void wait_dim(int dim);
+    /// landed (the plan executor's Comm/Wait tasks). Under a chaos drop
+    /// scenario the wait retries on the plan's receive timeout, asking the
+    /// communicator for retransmits job-wide (every process's session, on
+    /// the socket backend) between attempts.
+    void wait_dim(msg::Communicator& comm, int dim);
     /// Second half of finish_dim: unpack `dim`'s received faces into halos.
     /// Call only after wait_dim(dim).
     void unpack_dim(core::Field3& f, int dim,

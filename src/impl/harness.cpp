@@ -88,6 +88,91 @@ SolveResult run_single_resident(const plan::StepPlan& plan,
 
 }  // namespace
 
+RankOutcome run_plan_rank(const plan::StepPlan& plan, const SolverConfig& cfg,
+                          const core::Decomp3& decomp, msg::Communicator& comm,
+                          gpu::Device* device) {
+    const auto& p = cfg.problem;
+    const int rank = comm.rank();
+    const auto n = decomp.local_extents(rank);
+    const auto origin = decomp.origin(rank);
+    const auto coeffs = p.coeffs();
+
+    // §IV-F/G maintain only a host shell mirror (`cur`), no second host
+    // field; the CPU implementations keep the full cur/nxt pair.
+    core::Field3 cur(n);
+    core::fill_initial(cur, p.domain, p.wave, origin);
+    std::optional<core::Field3> nxt;
+    if (!plan.mirror_only) nxt.emplace(n);
+
+    omp::ThreadTeam team(cfg.threads_per_task);
+    HaloExchange exchange(decomp, rank);
+
+    ExecContext ctx;
+    ctx.cfg = &cfg;
+    ctx.coeffs = &coeffs;
+    ctx.cur = &cur;
+    ctx.nxt = nxt ? &*nxt : nullptr;
+    ctx.team = &team;
+    ctx.comm = &comm;
+    ctx.exchange = &exchange;
+
+    std::vector<gpu::Stream> streams;
+    std::optional<core::BoxPartition> box;
+    std::optional<DeviceField> d_cur;
+    std::optional<DeviceField> d_nxt;
+    std::optional<GpuStaging> staging;
+    if (plan.uses_gpu) {
+        for (int k = 0; k < plan.streams; ++k)
+            streams.push_back(device->create_stream());
+        d_cur.emplace(*device, n);
+        d_nxt.emplace(*device, n);
+        if (plan.staging == plan::StagingKind::BoxShell) {
+            box.emplace(n, cfg.box_thickness);
+            staging.emplace(*device, box->gpu_halo_shell(),
+                            box->block_boundary_shell());
+        } else {
+            staging.emplace(*device, mpi_halo_regions(n),
+                            boundary_shell_regions(n));
+        }
+        streams[0].memcpy_h2d(d_cur->buffer(), 0, cur.raw());
+        streams[0].synchronize();
+
+        ctx.device = device;
+        ctx.streams = &streams;
+        ctx.d_cur = &*d_cur;
+        ctx.d_nxt = &*d_nxt;
+        ctx.staging = &*staging;
+    }
+
+    PlanExecutor exec(plan, ctx);
+
+    comm.barrier();  // "a barrier immediately before measuring the start"
+    const double t0 = now_seconds();
+    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    comm.barrier();
+    const double t1 = now_seconds();
+    // Every rank computes the same reduced wall time.
+    const double wall = comm.allreduce_max(t1 - t0);
+
+    switch (plan.finalize) {
+        case plan::Finalize::HostState:
+            break;
+        case plan::Finalize::DeviceState:
+            streams[0].memcpy_d2h(cur.raw(), d_cur->buffer(), 0);
+            streams[0].synchronize();
+            break;
+        case plan::Finalize::BlockMerge: {
+            // Assemble: walls from the host state, block from the device.
+            core::Field3 block_out(n);
+            streams[0].memcpy_d2h(block_out.raw(), d_cur->buffer(), 0);
+            streams[0].synchronize();
+            cur.copy_region_from(block_out, box->gpu_block());
+            break;
+        }
+    }
+    return {std::move(cur), wall};
+}
+
 SolveResult run_plan_solver(const std::string& impl_id,
                             const SolverConfig& cfg) {
     const auto& p = cfg.problem;
@@ -123,91 +208,14 @@ SolveResult run_plan_solver(const std::string& impl_id,
 
     msg::run_ranks(decomp.nranks(), [&](msg::Communicator& comm) {
         const int rank = comm.rank();
-        const auto n = decomp.local_extents(rank);
-        const auto origin = decomp.origin(rank);
         const plan::StepPlan& plan = plans[static_cast<std::size_t>(rank)];
-
-        // §IV-F/G maintain only a host shell mirror (`cur`), no second host
-        // field; the CPU implementations keep the full cur/nxt pair.
-        core::Field3 cur(n);
-        core::fill_initial(cur, p.domain, p.wave, origin);
-        std::optional<core::Field3> nxt;
-        if (!plan.mirror_only) nxt.emplace(n);
-
-        omp::ThreadTeam team(cfg.threads_per_task);
-        HaloExchange exchange(decomp, rank);
-
-        ExecContext ctx;
-        ctx.cfg = &cfg;
-        ctx.coeffs = &coeffs;
-        ctx.cur = &cur;
-        ctx.nxt = nxt ? &*nxt : nullptr;
-        ctx.team = &team;
-        ctx.comm = &comm;
-        ctx.exchange = &exchange;
-
-        std::vector<gpu::Stream> streams;
-        std::optional<core::BoxPartition> box;
-        std::optional<DeviceField> d_cur;
-        std::optional<DeviceField> d_nxt;
-        std::optional<GpuStaging> staging;
-        if (plan.uses_gpu) {
-            auto& device = pool->device_for_rank(rank);
-            for (int k = 0; k < plan.streams; ++k)
-                streams.push_back(device.create_stream());
-            d_cur.emplace(device, n);
-            d_nxt.emplace(device, n);
-            if (plan.staging == plan::StagingKind::BoxShell) {
-                box.emplace(n, cfg.box_thickness);
-                staging.emplace(device, box->gpu_halo_shell(),
-                                box->block_boundary_shell());
-            } else {
-                staging.emplace(device, mpi_halo_regions(n),
-                                boundary_shell_regions(n));
-            }
-            streams[0].memcpy_h2d(d_cur->buffer(), 0, cur.raw());
-            streams[0].synchronize();
-
-            ctx.device = &device;
-            ctx.streams = &streams;
-            ctx.d_cur = &*d_cur;
-            ctx.d_nxt = &*d_nxt;
-            ctx.staging = &*staging;
-        }
-
-        PlanExecutor exec(plan, ctx);
-
-        comm.barrier();  // "a barrier immediately before measuring the start"
-        const double t0 = now_seconds();
-        for (int s = 0; s < cfg.steps; ++s) exec.run_step();
-        comm.barrier();
-        const double t1 = now_seconds();
-        // Every rank computes the same reduced wall time; rank 0's write is
+        gpu::Device* device =
+            plan.uses_gpu ? &pool->device_for_rank(rank) : nullptr;
+        RankOutcome out = run_plan_rank(plan, cfg, decomp, comm, device);
+        write_block(global, out.state, decomp.origin(rank));
+        // Every rank holds the same reduced wall time; rank 0's write is
         // ordered before run_ranks returns, so no lock is needed.
-        const double rank_wall = comm.allreduce_max(t1 - t0);
-
-        switch (plan.finalize) {
-            case plan::Finalize::HostState:
-                write_block(global, cur, origin);
-                break;
-            case plan::Finalize::DeviceState: {
-                core::Field3 out(n);
-                streams[0].memcpy_d2h(out.raw(), d_cur->buffer(), 0);
-                streams[0].synchronize();
-                write_block(global, out, origin);
-                break;
-            }
-            case plan::Finalize::BlockMerge: {
-                // Assemble: walls from the host state, block from the device.
-                core::Field3 block_out(n);
-                streams[0].memcpy_d2h(block_out.raw(), d_cur->buffer(), 0);
-                streams[0].synchronize();
-                cur.copy_region_from(block_out, box->gpu_block());
-                write_block(global, cur, origin);
-                break;
-            }
-        }
-        if (rank == 0) wall = rank_wall;
+        if (rank == 0) wall = out.wall_seconds;
     });
 
     return finish_result(cfg, std::move(global), wall);

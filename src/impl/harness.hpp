@@ -5,12 +5,46 @@
 /// wall-clock reduction, final-state assembly — owned once. A driver is now
 /// one line: build the implementation's step plan and hand it to this
 /// harness, which runs it through the PlanExecutor.
+///
+/// The per-rank body is exposed as run_plan_rank so both rank substrates
+/// share it verbatim: run_plan_solver runs it on rank threads over the
+/// in-process transport, and the socket launcher (impl/launch.hpp) runs it
+/// in rank processes over the socket transport.
 
 #include <string>
 
+#include "core/decomposition.hpp"
+#include "core/field.hpp"
 #include "impl/config.hpp"
+#include "msg/comm.hpp"
+#include "plan/ir.hpp"
+
+namespace advect::gpu {
+class Device;
+}  // namespace advect::gpu
 
 namespace advect::impl {
+
+/// What one rank's execution of a step plan produces: the rank's final local
+/// state (interior valid; halos unspecified) and the job wall time, which is
+/// the allreduce-max over ranks of each rank's barrier-to-barrier loop time
+/// and therefore identical on every rank.
+struct RankOutcome {
+    core::Field3 state;
+    double wall_seconds = 0.0;
+};
+
+/// Execute `plan` as rank `comm.rank()` of `decomp`: set up fields, halo
+/// exchange, and (when the plan uses the GPU) streams and staging on
+/// `device`, run `cfg.steps` steps through the PlanExecutor between timing
+/// barriers, and finalize the rank's state. `device` must be non-null iff
+/// `plan.uses_gpu`. Collective calls make this a collective: every rank of
+/// `decomp` must run it concurrently over the same transport.
+[[nodiscard]] RankOutcome run_plan_rank(const plan::StepPlan& plan,
+                                        const SolverConfig& cfg,
+                                        const core::Decomp3& decomp,
+                                        msg::Communicator& comm,
+                                        gpu::Device* device);
 
 /// Solve `cfg` with implementation `impl_id` by building its step plan
 /// (plan::build_step_plan) on every rank's local extents and executing it.

@@ -1,0 +1,63 @@
+#pragma once
+/// \file launch.hpp
+/// One front door for running an implementation under either rank substrate
+/// (docs/TRANSPORT.md): ranks as threads over the in-process mailbox
+/// transport, or ranks as forked worker processes over the socket transport.
+/// Either way the same per-rank body (impl::run_plan_rank) executes, and the
+/// launcher ships each worker's trace spans and chaos fault log back to the
+/// caller, so `advectctl trace`/`chaos` output is identical across backends.
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "impl/config.hpp"
+#include "trace/span.hpp"
+
+namespace advect::impl {
+
+/// Which rank substrate carries the job.
+enum class TransportKind {
+    InProcess,  ///< ranks are threads sharing a msg::World (the default)
+    Socket,     ///< ranks are forked processes on a Unix-domain socket mesh
+};
+
+[[nodiscard]] const char* transport_name(TransportKind kind);
+/// Parse "inproc" / "socket"; throws std::invalid_argument otherwise.
+[[nodiscard]] TransportKind transport_from_name(const std::string& name);
+
+struct LaunchOptions {
+    TransportKind transport = TransportKind::InProcess;
+    /// Record trace spans during the run and return them in the report.
+    bool trace = false;
+    /// When non-null, run under this chaos plan (each worker process
+    /// installs its own Session; draws are keyed per rank, so the merged
+    /// fault log is identical across backends).
+    const chaos::FaultPlan* fault_plan = nullptr;
+};
+
+struct LaunchReport {
+    SolveResult result;
+    /// Merged fault log of all ranks, in canonical order (chaos::sort_log);
+    /// empty when no fault plan was given.
+    std::vector<chaos::FaultEvent> fault_log;
+    /// Merged spans of all ranks, sorted by start time and rebased onto one
+    /// timeline (the workers share the system monotonic clock); empty when
+    /// opts.trace is false.
+    std::vector<trace::Span> spans;
+};
+
+/// Solve `cfg` with implementation `impl_id` over the chosen transport.
+/// On the socket backend the implementations that use no communication
+/// (§IV-A/E) run in a single worker process; the rest fork one worker per
+/// rank of the decomposition. Simulated GPUs live per process there, so
+/// `cfg.tasks_per_gpu > 1` sharing is an in-process-only feature; runs with
+/// the default of one task per GPU are bitwise identical across backends.
+///
+/// The caller must not have trace recording enabled or a chaos session
+/// installed: the launcher owns both for the duration of the run.
+[[nodiscard]] LaunchReport launch_solver(const std::string& impl_id,
+                                         const SolverConfig& cfg,
+                                         const LaunchOptions& opts);
+
+}  // namespace advect::impl

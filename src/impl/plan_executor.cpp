@@ -195,7 +195,7 @@ void PlanExecutor::run_task(const plan::Task& task,
             // A bulk Comm task blocks the host on the message flight; a Wait
             // task is the overlap variants' CPU-driven completion. Both are
             // the same substrate call; they differ in the lowered model.
-            ctx_.exchange->wait_dim(p.dim);
+            ctx_.exchange->wait_dim(*ctx_.comm, p.dim);
             break;
         case plan::Op::CommDma:
             // NIC progress happens inside the message runtime; the task

@@ -2,24 +2,52 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "chaos/inject.hpp"
+#include "msg/transport/inproc.hpp"
 #include "trace/span.hpp"
 
 namespace advect::msg {
 
+namespace {
+
+/// Reserved tags for the collective rendezvous (see kSystemTagBase): every
+/// reduction gathers through rank 0 and releases the result; broadcast
+/// releases from its root; barrier is a zero-payload reduction. One
+/// gather/release tag pair suffices because all ranks execute the same
+/// collective sequence and each (src, dst, tag) channel is FIFO.
+constexpr int kTagGather = kSystemTagBase + 0;
+constexpr int kTagRelease = kSystemTagBase + 1;
+
+/// Bound on retransmit attempts per wait, mirroring HaloExchange::wait_dim:
+/// only guards against a mis-specified chaos scenario.
+constexpr int kMaxRetransmitAttempts = 1000;
+
+double monotonic_now() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
 World::World(int nranks)
-    : nranks_(nranks),
-      mailboxes_(static_cast<std::size_t>(nranks)),
-      barrier_(nranks),
-      reduce_slots_(static_cast<std::size_t>(nranks), 0.0) {
+    : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
     if (nranks < 1) throw std::invalid_argument("World: nranks must be >= 1");
 }
+
+Communicator::Communicator(World& world, int rank)
+    : owned_(std::make_shared<InProcessTransport>(world, rank)),
+      transport_(owned_.get()),
+      rank_(rank) {}
 
 Request Communicator::isend(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size());
@@ -30,19 +58,19 @@ Request Communicator::isend(int dest, int tag, std::span<const double> data) {
     // closure, preserving buffered-send semantics either way.
     if (chaos::active() &&
         chaos::on_send(rank_, dest,
-                       [mb = &world_->mailbox(dest), src = rank_, tag,
+                       [t = transport_, dest, tag,
                         payload = std::vector<double>(data.begin(),
                                                       data.end())] {
-                           mb->deliver(src, tag, payload);
+                           t->deliver(dest, tag, payload);
                        }))
         return Request{};
-    world_->mailbox(dest).deliver(rank_, tag, data);
+    transport_->deliver(dest, tag, data);
     return Request{};  // buffered send: complete on return
 }
 
 Request Communicator::irecv(int src, int tag, std::span<double> out) {
     assert(src == kAnySource || (src >= 0 && src < size()));
-    return world_->mailbox(rank_).post_receive(src, tag, out);
+    return transport_->mailbox().post_receive(src, tag, out);
 }
 
 void Communicator::send(int dest, int tag, std::span<const double> data) {
@@ -58,37 +86,143 @@ void Communicator::recv(int src, int tag, std::span<double> out,
     irecv(src, tag, out).wait(timeout_seconds);
 }
 
+void Communicator::await(Request& req, const char* op,
+                         const std::string& phase, double deadline) {
+    const double chaos_timeout = chaos::recv_timeout_seconds();
+    if (!std::isfinite(deadline) && chaos_timeout <= 0.0) {
+        req.wait();
+        return;
+    }
+    int attempts = 0;
+    for (;;) {
+        double budget = std::numeric_limits<double>::infinity();
+        if (std::isfinite(deadline)) {
+            budget = deadline - monotonic_now();
+            if (budget <= 0.0)
+                throw CollectiveTimeoutError(op, phase, rank_);
+        }
+        const double slice =
+            chaos_timeout > 0.0 ? std::min(budget, chaos_timeout) : budget;
+        try {
+            req.wait(slice);
+            return;
+        } catch (const TimeoutError&) {
+            if (std::isfinite(deadline) && monotonic_now() >= deadline)
+                throw CollectiveTimeoutError(op, phase, rank_);
+            // A chaos drop scenario is active (or the slice undershot the
+            // deadline): release held sends job-wide and wait again.
+            if (chaos_timeout > 0.0) {
+                if (++attempts > kMaxRetransmitAttempts) throw;
+                request_retransmits();
+            }
+        }
+    }
+}
+
+double Communicator::rendezvous(const char* op, Collective kind, double value,
+                                int root, double timeout_seconds) {
+    // One logical span per collective; the point-to-point machinery below
+    // runs muted so call sites keep the trace shape they always had.
+    trace::ScopedSpan span(op, "msg", trace::Lane::Host);
+    trace::ScopedMute mute;
+    // Fault rules target collective traffic by the collective's name.
+    chaos::ScopedMsgSite site(op);
+
+    const double deadline =
+        timeout_seconds > 0.0 ? monotonic_now() + timeout_seconds
+                              : std::numeric_limits<double>::infinity();
+    const int n = size();
+
+    if (kind == Collective::Bcast) {
+        if (n == 1 || rank_ == root) {
+            for (int r = 0; r < n; ++r)
+                if (r != root) isend(r, kTagRelease, {&value, 1});
+            return value;
+        }
+        double got = 0.0;
+        Request req = irecv(root, kTagRelease, {&got, 1});
+        await(req, op, "release", deadline);
+        return got;
+    }
+
+    // Sum/Max gather through rank 0, which reduces in rank order — the
+    // bitwise-reproducible order verification depends on — and releases the
+    // result to every rank.
+    if (n == 1) return value;
+    if (rank_ == 0) {
+        std::vector<double> vals(static_cast<std::size_t>(n), 0.0);
+        vals[0] = value;
+        std::vector<Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(n) - 1);
+        for (int r = 1; r < n; ++r)
+            reqs.push_back(
+                irecv(r, kTagGather, {&vals[static_cast<std::size_t>(r)], 1}));
+        for (int r = 1; r < n; ++r)
+            await(reqs[static_cast<std::size_t>(r - 1)], op,
+                  "gather from rank " + std::to_string(r), deadline);
+        double result;
+        if (kind == Collective::Sum) {
+            result = 0.0;
+            for (double v : vals) result += v;
+        } else {
+            result = vals[0];
+            for (double v : vals) result = std::max(result, v);
+        }
+        for (int r = 1; r < n; ++r) isend(r, kTagRelease, {&result, 1});
+        return result;
+    }
+    isend(0, kTagGather, {&value, 1});
+    double result = 0.0;
+    Request req = irecv(0, kTagRelease, {&result, 1});
+    await(req, op, "release", deadline);
+    return result;
+}
+
 void Communicator::barrier() {
+    // A zero-valued, untimed reduction: every rank blocks until all have
+    // arrived at rank 0 and been released. Rides the same chaos-visible
+    // path as the other collectives, so drop scenarios perturb it and the
+    // retransmit-on-timeout loop recovers it, on every backend alike.
     trace::ScopedSpan span("barrier", "msg", trace::Lane::Host);
-    world_->barrier_.arrive_and_wait();
+    trace::ScopedMute mute;
+    chaos::ScopedMsgSite site("barrier");
+    const double no_deadline = std::numeric_limits<double>::infinity();
+    const int n = size();
+    if (n == 1) return;
+    double token = 0.0;
+    if (rank_ == 0) {
+        std::vector<double> slots(static_cast<std::size_t>(n), 0.0);
+        std::vector<Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(n) - 1);
+        for (int r = 1; r < n; ++r)
+            reqs.push_back(irecv(r, kTagGather,
+                                 {&slots[static_cast<std::size_t>(r)], 1}));
+        for (int r = 1; r < n; ++r)
+            await(reqs[static_cast<std::size_t>(r - 1)], "barrier",
+                  "gather from rank " + std::to_string(r), no_deadline);
+        for (int r = 1; r < n; ++r) isend(r, kTagRelease, {&token, 1});
+        return;
+    }
+    isend(0, kTagGather, {&token, 1});
+    Request req = irecv(0, kTagRelease, {&token, 1});
+    await(req, "barrier", "release", no_deadline);
 }
 
-double Communicator::allreduce_sum(double value) {
-    trace::ScopedSpan span("allreduce_sum", "msg", trace::Lane::Host);
-    world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
-    barrier();
-    double sum = 0.0;
-    for (double v : world_->reduce_slots_) sum += v;
-    barrier();  // nobody overwrites slots until everyone has read
-    return sum;
+double Communicator::allreduce_sum(double value, double timeout_seconds) {
+    return rendezvous("allreduce_sum", Collective::Sum, value, 0,
+                      timeout_seconds);
 }
 
-double Communicator::allreduce_max(double value) {
-    trace::ScopedSpan span("allreduce_max", "msg", trace::Lane::Host);
-    world_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
-    barrier();
-    double mx = world_->reduce_slots_[0];
-    for (double v : world_->reduce_slots_) mx = std::max(mx, v);
-    barrier();
-    return mx;
+double Communicator::allreduce_max(double value, double timeout_seconds) {
+    return rendezvous("allreduce_max", Collective::Max, value, 0,
+                      timeout_seconds);
 }
 
-double Communicator::broadcast(double value, int root) {
-    if (rank_ == root) world_->bcast_slot_ = value;
-    barrier();
-    const double out = world_->bcast_slot_;
-    barrier();
-    return out;
+double Communicator::broadcast(double value, int root,
+                               double timeout_seconds) {
+    assert(root >= 0 && root < size());
+    return rendezvous("broadcast", Collective::Bcast, value, root,
+                      timeout_seconds);
 }
 
 void run_ranks(int nranks,

@@ -1,25 +1,34 @@
 #pragma once
 /// \file comm.hpp
-/// The communicator and rank runtime. Ranks are threads within this process
-/// (the "cluster in a process" substitution documented in DESIGN.md §2);
-/// the API mirrors the MPI subset the paper's implementations use:
-/// nonblocking point-to-point with tags, waitall, barrier, and the small
-/// collectives needed for verification (allreduce, broadcast).
+/// The communicator and rank runtime. The API mirrors the MPI subset the
+/// paper's implementations use: nonblocking point-to-point with tags,
+/// waitall, barrier, and the small collectives needed for verification
+/// (allreduce, broadcast). Every operation goes through a Transport
+/// (msg/transport/transport.hpp): in-process mailboxes when ranks are
+/// threads sharing a World (the "cluster in a process" substitution,
+/// DESIGN.md §2), or a socket mesh when ranks are processes
+/// (docs/TRANSPORT.md).
+///
+/// Collectives are implemented as messages over the transport (a flat
+/// gather/release tree through a root) on reserved system tags, so they
+/// behave identically on every backend, appear at chaos injection sites
+/// ("allreduce_sum", ...), and support deadlines: the timed overloads throw
+/// CollectiveTimeoutError naming the stalled phase and rank instead of
+/// hanging when a drop scenario swallows collective traffic.
 
-#include <barrier>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "msg/mailbox.hpp"
 #include "msg/request.hpp"
+#include "msg/transport/transport.hpp"
 
 namespace advect::msg {
 
-class Communicator;
-
-/// Shared state of one "job": mailboxes, barrier, collective scratch.
+/// Shared state of one in-process "job": one mailbox per rank thread.
 class World {
   public:
     explicit World(int nranks);
@@ -30,25 +39,27 @@ class World {
     }
 
   private:
-    friend class Communicator;
     int nranks_;
     std::vector<Mailbox> mailboxes_;
-    std::barrier<> barrier_;
-    std::vector<double> reduce_slots_;
-    double bcast_slot_ = 0.0;
 };
 
-/// A rank's handle on the world. Cheap to copy within the rank's thread.
+/// A rank's handle on the job. Cheap to copy within the rank's thread.
 class Communicator {
   public:
-    Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+    /// In-process rank handle (ranks as threads; the default substrate).
+    Communicator(World& world, int rank);
+    /// Rank handle over an explicit transport (socket-backend workers).
+    explicit Communicator(Transport& transport)
+        : transport_(&transport), rank_(transport.rank()) {}
 
     [[nodiscard]] int rank() const { return rank_; }
-    [[nodiscard]] int size() const { return world_->size(); }
+    [[nodiscard]] int size() const { return transport_->size(); }
+    [[nodiscard]] Transport& transport() const { return *transport_; }
 
     /// Nonblocking send: the payload is captured before returning (buffered
     /// semantics), so the returned request is already complete; it is
-    /// provided so call sites read like their MPI counterparts.
+    /// provided so call sites read like their MPI counterparts. `tag` must
+    /// be below kSystemTagBase.
     Request isend(int dest, int tag, std::span<const double> data);
     /// Nonblocking receive into `out`; completes when a matching message has
     /// been copied in. `out` must stay valid and untouched until wait().
@@ -66,20 +77,46 @@ class Communicator {
     /// Synchronise all ranks.
     void barrier();
 
-    /// Sum / max of one value per rank, returned on every rank.
-    [[nodiscard]] double allreduce_sum(double value);
-    [[nodiscard]] double allreduce_max(double value);
-    /// Broadcast `value` from `root` to all ranks.
-    [[nodiscard]] double broadcast(double value, int root);
+    /// Sum / max of one value per rank, returned on every rank, reduced in
+    /// rank order (bitwise-reproducible). `timeout_seconds > 0` arms a
+    /// deadline: CollectiveTimeoutError on expiry. Under an active chaos
+    /// drop scenario the collective retransmits on the plan's receive
+    /// timeout, like HaloExchange::wait_dim — a user deadline still wins.
+    [[nodiscard]] double allreduce_sum(double value,
+                                       double timeout_seconds = 0.0);
+    [[nodiscard]] double allreduce_max(double value,
+                                       double timeout_seconds = 0.0);
+    /// Broadcast `value` from `root` to all ranks; same deadline contract.
+    [[nodiscard]] double broadcast(double value, int root,
+                                   double timeout_seconds = 0.0);
+
+    /// Release chaos-dropped sends job-wide (every process's session). The
+    /// timeout-retry loops (HaloExchange::wait_dim, the collectives) call
+    /// this; prefer it over chaos::request_retransmits(), which only
+    /// reaches the calling process.
+    void request_retransmits() { transport_->request_retransmits(); }
 
   private:
-    World* world_;
+    enum class Collective { Sum, Max, Bcast };
+
+    double rendezvous(const char* op, Collective kind, double value, int root,
+                      double timeout_seconds);
+    /// Wait on `req` under the collective deadline discipline: slice waits
+    /// by the chaos receive timeout (requesting retransmits between
+    /// slices), and convert expiry of `deadline` (absolute monotonic
+    /// seconds, +inf = none) into CollectiveTimeoutError.
+    void await(Request& req, const char* op, const std::string& phase,
+               double deadline);
+
+    std::shared_ptr<Transport> owned_;  ///< set by the in-process ctor
+    Transport* transport_;
     int rank_;
 };
 
 /// Launch `nranks` rank threads running `rank_main` and join them. The first
 /// exception thrown by any rank is rethrown here after all ranks finish or
-/// unwind. This is the `mpirun` of the substrate.
+/// unwind. This is the `mpirun` of the in-process substrate; the socket
+/// counterpart is run_process_ranks (msg/transport/process.hpp).
 void run_ranks(int nranks,
                const std::function<void(Communicator&)>& rank_main);
 

@@ -19,6 +19,12 @@ namespace advect::msg {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// First tag reserved for the runtime's own traffic (the collective
+/// rendezvous messages in comm.cpp). User point-to-point sends must use
+/// tags below this; a kAnyTag wildcard receive never matches a reserved
+/// tag, so draining "everything" cannot steal a collective's messages.
+inline constexpr int kSystemTagBase = 1 << 24;
+
 /// A rank's incoming-message endpoint.
 class Mailbox {
   public:
@@ -54,8 +60,8 @@ class Mailbox {
     };
 
     static bool matches(int want_src, int want_tag, int src, int tag) {
-        return (want_src == kAnySource || want_src == src) &&
-               (want_tag == kAnyTag || want_tag == tag);
+        if (want_src != kAnySource && want_src != src) return false;
+        return want_tag == kAnyTag ? tag < kSystemTagBase : want_tag == tag;
     }
 
     mutable std::mutex mu_;

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 
 namespace advect::msg {
 
@@ -28,8 +29,42 @@ class TimeoutError : public std::runtime_error {
 
     [[nodiscard]] std::size_t index() const { return index_; }
 
+  protected:
+    TimeoutError(const std::string& what, std::size_t index)
+        : std::runtime_error(what), index_(index) {}
+
   private:
     std::size_t index_;
+};
+
+/// A collective's deadline expired: names the collective, the internal
+/// phase that stalled ("gather from rank 2", "release") and the rank that
+/// gave up. Thrown by the timed allreduce_sum/allreduce_max/broadcast
+/// overloads; the collective's internal receives stay pending, so under a
+/// chaos drop scenario a caller may request retransmission and retry,
+/// exactly like point-to-point.
+class CollectiveTimeoutError : public TimeoutError {
+  public:
+    CollectiveTimeoutError(std::string op, std::string phase, int rank)
+        : TimeoutError("msg: " + op + " deadline expired on rank " +
+                           std::to_string(rank) + " (stalled in " + phase +
+                           ")",
+                       0),
+          op_(std::move(op)),
+          phase_(std::move(phase)),
+          rank_(rank) {}
+
+    /// The collective that stalled ("allreduce_sum", ...).
+    [[nodiscard]] const std::string& op() const { return op_; }
+    /// The internal phase that stalled ("gather from rank N", "release").
+    [[nodiscard]] const std::string& phase() const { return phase_; }
+    /// The rank whose deadline expired.
+    [[nodiscard]] int rank() const { return rank_; }
+
+  private:
+    std::string op_;
+    std::string phase_;
+    int rank_;
 };
 
 namespace detail {

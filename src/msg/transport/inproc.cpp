@@ -1,0 +1,13 @@
+#include "msg/transport/inproc.hpp"
+
+#include "chaos/inject.hpp"
+
+namespace advect::msg {
+
+void InProcessTransport::request_retransmits() {
+    // All ranks share one process, hence one chaos session holding every
+    // dropped send.
+    chaos::request_retransmits();
+}
+
+}  // namespace advect::msg

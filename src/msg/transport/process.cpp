@@ -1,0 +1,151 @@
+#include "msg/transport/process.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "msg/transport/socket.hpp"
+#include "msg/transport/wire.hpp"
+
+namespace advect::msg {
+
+namespace {
+
+[[noreturn]] void worker_main(
+    int rank, std::vector<int> peer_fds, int control_fd,
+    const std::function<std::vector<std::uint8_t>(Communicator&)>&
+        rank_main) {
+    int exit_code = 0;
+    try {
+        SocketTransport transport(rank, std::move(peer_fds));
+        Communicator comm(transport);
+        std::vector<std::uint8_t> result;
+        try {
+            result = rank_main(comm);
+        } catch (const std::exception& e) {
+            const std::string what = e.what();
+            wire::write_frame(control_fd, wire::kFrameError,
+                              {reinterpret_cast<const std::uint8_t*>(
+                                   what.data()),
+                               what.size()});
+            ::close(control_fd);
+            // Fall through to destroy the transport before exiting: peers
+            // mid-teardown read a clean EOF, not a reset.
+            throw;
+        }
+        wire::write_frame(control_fd, wire::kFrameResult, result);
+        ::close(control_fd);
+    } catch (...) {
+        exit_code = 1;
+    }
+    // Never unwind into the parent's inherited state: skip atexit handlers
+    // and don't re-flush inherited stdio buffers.
+    ::_exit(exit_code);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> run_process_ranks(
+    int nranks,
+    const std::function<std::vector<std::uint8_t>(Communicator&)>&
+        rank_main) {
+    if (nranks < 1)
+        throw std::invalid_argument("run_process_ranks: nranks must be >= 1");
+    const auto n = static_cast<std::size_t>(nranks);
+
+    // Full mesh, connected before fork: mesh[i][j] is rank i's socket to
+    // rank j (and mesh[j][i] the matching end).
+    std::vector<std::vector<int>> mesh(n, std::vector<int>(n, -1));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            int sv[2];
+            if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+                throw std::runtime_error(
+                    "run_process_ranks: socketpair failed");
+            mesh[i][j] = sv[0];
+            mesh[j][i] = sv[1];
+        }
+    std::vector<std::array<int, 2>> control(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+            throw std::runtime_error("run_process_ranks: socketpair failed");
+        control[r] = {sv[0], sv[1]};  // [0] parent end, [1] worker end
+    }
+
+    std::vector<pid_t> pids(n, -1);
+    for (std::size_t r = 0; r < n; ++r) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            for (std::size_t k = 0; k < r; ++k) ::kill(pids[k], SIGKILL);
+            throw std::runtime_error("run_process_ranks: fork failed");
+        }
+        if (pid == 0) {
+            // Worker: keep row r of the mesh and our control end; close
+            // every other inherited fd so peer EOF detection works.
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    if (i != r && mesh[i][j] >= 0) ::close(mesh[i][j]);
+            for (std::size_t k = 0; k < n; ++k) {
+                ::close(control[k][0]);
+                if (k != r) ::close(control[k][1]);
+            }
+            worker_main(static_cast<int>(r), mesh[r], control[r][1],
+                        rank_main);
+        }
+        pids[r] = pid;
+    }
+
+    // Parent: release the workers' fds, then collect results.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (mesh[i][j] >= 0) ::close(mesh[i][j]);
+    for (std::size_t r = 0; r < n; ++r) ::close(control[r][1]);
+
+    std::vector<std::vector<std::uint8_t>> results(n);
+    std::string first_error;
+    for (std::size_t r = 0; r < n; ++r) {
+        wire::Frame frame;
+        bool got = false;
+        try {
+            got = wire::read_frame(control[r][0], frame);
+        } catch (const std::exception& e) {
+            if (first_error.empty())
+                first_error = "worker " + std::to_string(r) +
+                              " control channel: " + e.what();
+        }
+        if (got && frame.type == wire::kFrameResult) {
+            results[r] = std::move(frame.payload);
+        } else if (got && frame.type == wire::kFrameError) {
+            if (first_error.empty())
+                first_error =
+                    "worker " + std::to_string(r) + ": " +
+                    std::string(frame.payload.begin(), frame.payload.end());
+        } else if (first_error.empty()) {
+            first_error = "worker " + std::to_string(r) +
+                          " exited without a result";
+        }
+        ::close(control[r][0]);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        int status = 0;
+        ::waitpid(pids[r], &status, 0);
+        if (first_error.empty() &&
+            !(WIFEXITED(status) && WEXITSTATUS(status) == 0))
+            first_error =
+                "worker " + std::to_string(r) + " died (status " +
+                std::to_string(status) + ")";
+    }
+    if (!first_error.empty())
+        throw std::runtime_error("run_process_ranks: " + first_error);
+    return results;
+}
+
+}  // namespace advect::msg

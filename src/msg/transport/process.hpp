@@ -1,0 +1,34 @@
+#pragma once
+/// \file process.hpp
+/// The process-rank launcher: the `mpirun` of the socket backend. Forks one
+/// worker per rank, each holding its row of a pre-connected full mesh of
+/// Unix-domain socketpairs (created before fork, inherited — no
+/// listen/connect rendezvous needed locally), runs `rank_main` with a
+/// Communicator over a SocketTransport, and ships each worker's marshalled
+/// result back over a dedicated control socket.
+///
+/// Fork discipline: call only from a quiescent process (no live rank/team
+/// threads — every substrate joins its threads before returning, so any
+/// point between runs qualifies). Workers `_exit()` so inherited atexit
+/// handlers and stdio buffers are not replayed N times.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "msg/comm.hpp"
+
+namespace advect::msg {
+
+/// Run `nranks` forked worker processes; each runs `rank_main` on its own
+/// Communicator (socket backend) and returns a payload of bytes, which the
+/// parent collects in rank order. A worker that throws turns the whole
+/// launch into a std::runtime_error carrying the first worker's message
+/// (after every worker has been reaped). The error type is not preserved
+/// across the process boundary — rank_main should catch anything it wants
+/// to assert on and encode it in its payload.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> run_process_ranks(
+    int nranks,
+    const std::function<std::vector<std::uint8_t>(Communicator&)>& rank_main);
+
+}  // namespace advect::msg

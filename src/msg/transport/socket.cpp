@@ -1,0 +1,139 @@
+#include "msg/transport/socket.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chaos/inject.hpp"
+#include "msg/transport/wire.hpp"
+#include "trace/span.hpp"
+
+namespace advect::msg {
+
+SocketTransport::SocketTransport(int rank, std::vector<int> peer_fds)
+    : rank_(rank) {
+    peers_.reserve(peer_fds.size());
+    for (int fd : peer_fds) {
+        auto p = std::make_unique<Peer>();
+        p->fd = fd;
+        peers_.push_back(std::move(p));
+    }
+    if (::pipe(wake_fds_) != 0)
+        throw std::runtime_error("socket transport: cannot create wake pipe");
+    receiver_ = std::thread([this] { receive_loop(); });
+}
+
+SocketTransport::~SocketTransport() {
+    stopping_.store(true, std::memory_order_release);
+    const char byte = 'x';
+    // Best effort: the receiver also rechecks stopping_ after every poll.
+    [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &byte, 1);
+    if (receiver_.joinable()) receiver_.join();
+    for (auto& p : peers_)
+        if (p->fd >= 0) ::close(p->fd);
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+}
+
+void SocketTransport::deliver(int dst, int tag, std::span<const double> data) {
+    if (dst == rank_) {  // self-send (periodic wrap): no socket round-trip
+        mailbox_.deliver(rank_, tag, data);
+        return;
+    }
+    Peer& peer = *peers_[static_cast<std::size_t>(dst)];
+    wire::ByteWriter w;
+    std::lock_guard lock(peer.send_mu);
+    w.u32(static_cast<std::uint32_t>(rank_));
+    w.i32(tag);
+    w.u64(peer.send_seq++);
+    w.doubles(data);
+    wire::write_frame(peer.fd, wire::kFrameData, w.bytes());
+}
+
+void SocketTransport::request_retransmits() {
+    // Our own session may hold dropped self-sends; peers' sessions hold
+    // everything they dropped on the way to us.
+    chaos::request_retransmits();
+    wire::ByteWriter empty;
+    for (std::size_t r = 0; r < peers_.size(); ++r) {
+        if (static_cast<int>(r) == rank_) continue;
+        Peer& peer = *peers_[r];
+        std::lock_guard lock(peer.send_mu);
+        try {
+            wire::write_frame(peer.fd, wire::kFrameRetransmit, empty.bytes());
+        } catch (const std::exception&) {
+            // A peer that already finished its run and closed is not an
+            // error: it holds nothing we could still be waiting for.
+        }
+    }
+}
+
+void SocketTransport::receive_loop() {
+    trace::set_current_rank(rank_);
+    std::vector<pollfd> fds;
+    wire::Frame frame;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        fds.clear();
+        fds.push_back({wake_fds_[0], POLLIN, 0});
+        for (std::size_t r = 0; r < peers_.size(); ++r) {
+            if (static_cast<int>(r) == rank_ || peers_[r]->eof) continue;
+            fds.push_back({peers_[r]->fd, POLLIN, 0});
+        }
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR) continue;
+            std::perror("socket transport: poll");
+            std::abort();
+        }
+        if (stopping_.load(std::memory_order_acquire)) return;
+        for (const pollfd& pfd : fds) {
+            if (pfd.fd == wake_fds_[0] || !(pfd.revents & (POLLIN | POLLHUP)))
+                continue;
+            // Find the peer this fd belongs to.
+            Peer* peer = nullptr;
+            std::size_t src = 0;
+            for (std::size_t r = 0; r < peers_.size(); ++r)
+                if (peers_[r]->fd == pfd.fd) {
+                    peer = peers_[r].get();
+                    src = r;
+                    break;
+                }
+            if (peer == nullptr) continue;
+            if (!wire::read_frame(pfd.fd, frame)) {
+                peer->eof = true;  // peer finished its run
+                continue;
+            }
+            if (frame.type == wire::kFrameRetransmit) {
+                chaos::request_retransmits();
+                continue;
+            }
+            if (frame.type != wire::kFrameData) {
+                std::fprintf(stderr,
+                             "socket transport: unexpected frame type %u\n",
+                             frame.type);
+                std::abort();
+            }
+            wire::ByteReader r(frame.payload);
+            const std::uint32_t claimed_src = r.u32();
+            const std::int32_t tag = r.i32();
+            const std::uint64_t seq = r.u64();
+            const std::vector<double> payload = r.doubles();
+            if (claimed_src != src || seq != peer->recv_seq) {
+                // Sequence or identity violation: stream transport failed
+                // the non-overtaking contract. Unrecoverable by design.
+                std::fprintf(stderr,
+                             "socket transport: rank %d got frame src=%u "
+                             "seq=%llu from peer %zu (expected seq %llu)\n",
+                             rank_, claimed_src,
+                             static_cast<unsigned long long>(seq), src,
+                             static_cast<unsigned long long>(peer->recv_seq));
+                std::abort();
+            }
+            ++peer->recv_seq;
+            mailbox_.deliver(static_cast<int>(src), tag, payload);
+        }
+    }
+}
+
+}  // namespace advect::msg

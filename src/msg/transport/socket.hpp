@@ -1,0 +1,66 @@
+#pragma once
+/// \file socket.hpp
+/// The process-level transport: each rank is a process holding one end of a
+/// connected stream socket per peer (a full mesh; Unix-domain socketpairs
+/// locally, but nothing below the fd assumes the address family, so the
+/// same code runs over TCP — see docs/TRANSPORT.md). A receiver thread
+/// polls the peer sockets and feeds decoded data frames into the local
+/// mailbox; sends go out as sequence-numbered frames under a per-peer lock.
+///
+/// Ordering: the kernel's stream guarantee plus one writer lock per peer
+/// means frames arrive in the order deliver() was called per channel, which
+/// the per-channel sequence number verifies on receipt. The chaos engine
+/// orders deliver() calls themselves (ticketed FIFO per channel), exactly
+/// as in-process — so non-overtaking and seed replay survive the backend
+/// switch.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "msg/transport/transport.hpp"
+
+namespace advect::msg {
+
+class SocketTransport final : public Transport {
+  public:
+    /// `peer_fds[r]` is a connected stream socket to rank `r`; the entry at
+    /// our own index is ignored (self-sends short-circuit to the mailbox).
+    /// Takes ownership of the fds and starts the receiver thread.
+    SocketTransport(int rank, std::vector<int> peer_fds);
+    ~SocketTransport() override;
+    SocketTransport(const SocketTransport&) = delete;
+    SocketTransport& operator=(const SocketTransport&) = delete;
+
+    [[nodiscard]] int rank() const override { return rank_; }
+    [[nodiscard]] int size() const override {
+        return static_cast<int>(peers_.size());
+    }
+    void deliver(int dst, int tag, std::span<const double> data) override;
+    [[nodiscard]] Mailbox& mailbox() override { return mailbox_; }
+    void request_retransmits() override;
+    [[nodiscard]] const char* backend() const override { return "socket"; }
+
+  private:
+    struct Peer {
+        int fd = -1;
+        std::mutex send_mu;         ///< one writer at a time per peer
+        std::uint64_t send_seq = 0;  ///< guarded by send_mu
+        std::uint64_t recv_seq = 0;  ///< receiver thread only
+        bool eof = false;            ///< receiver thread only
+    };
+
+    void receive_loop();
+
+    int rank_;
+    Mailbox mailbox_;
+    std::vector<std::unique_ptr<Peer>> peers_;
+    int wake_fds_[2] = {-1, -1};  ///< self-pipe that unblocks the receiver
+    std::atomic<bool> stopping_{false};
+    std::thread receiver_;
+};
+
+}  // namespace advect::msg

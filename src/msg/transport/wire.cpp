@@ -1,0 +1,76 @@
+#include "msg/transport/wire.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace advect::msg::wire {
+
+namespace {
+
+/// A frame larger than this is a corrupt stream, not a message (the largest
+/// legitimate payload is a rank's full field block plus its trace spans).
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+void write_all(int fd, const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            throw std::system_error(errno, std::generic_category(),
+                                    "wire: send");
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+/// Returns bytes read; 0 only on EOF before the first byte.
+std::size_t read_all(int fd, void* data, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw std::system_error(errno, std::generic_category(),
+                                    "wire: recv");
+        }
+        if (r == 0) break;  // EOF
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+}  // namespace
+
+void write_frame(int fd, std::uint8_t type,
+                 std::span<const std::uint8_t> payload) {
+    std::uint8_t header[5];
+    header[0] = type;
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(header + 1, &len, sizeof len);
+    write_all(fd, header, sizeof header);
+    if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, Frame& out) {
+    std::uint8_t header[5];
+    const std::size_t got = read_all(fd, header, sizeof header);
+    if (got == 0) return false;  // clean EOF
+    if (got < sizeof header)
+        throw std::runtime_error("wire: truncated frame header");
+    out.type = header[0];
+    std::uint32_t len = 0;
+    std::memcpy(&len, header + 1, sizeof len);
+    if (len > kMaxFrameBytes)
+        throw std::runtime_error("wire: oversized frame (corrupt stream)");
+    out.payload.resize(len);
+    if (len > 0 && read_all(fd, out.payload.data(), len) < len)
+        throw std::runtime_error("wire: truncated frame payload");
+    return true;
+}
+
+}  // namespace advect::msg::wire

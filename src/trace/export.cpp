@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -127,10 +128,21 @@ OverlapReport summarize(std::span<const Span> spans) {
 
     // Sweep line: +1/-1 events per lane, processed in time order with ends
     // before starts at equal times (zero-length spans contribute nothing).
+    // Chaos-injected spans share the timeline but are tracked separately,
+    // per lane: they count as injected time, never as lane work — and they
+    // taint their own lane, because the runtime records blocking waits as
+    // that lane's activity (a recv stalled on a delayed message shows as
+    // NIC busy). Injected time only counts as hidden while a lane *not*
+    // carrying an active injection does real work: that is the paper's
+    // absorption story (computation continues while communication stalls),
+    // and it keeps the measured statistic honest against the DES model,
+    // which would otherwise disagree with a runtime that credits the stall
+    // it injected as the work that hid it.
     struct Ev {
         double t;
         int delta;
         std::size_t lane;
+        bool chaos;
     };
     std::vector<Ev> evs;
     evs.reserve(spans.size() * 2);
@@ -138,8 +150,9 @@ OverlapReport summarize(std::span<const Span> spans) {
     r.t_end = spans.front().t1;
     for (const auto& s : spans) {
         const auto l = static_cast<std::size_t>(s.lane);
-        evs.push_back({s.t0, +1, l});
-        evs.push_back({s.t1, -1, l});
+        const bool chaos = std::string_view(s.category) == "chaos";
+        evs.push_back({s.t0, +1, l, chaos});
+        evs.push_back({s.t1, -1, l, chaos});
         r.t_begin = std::min(r.t_begin, s.t0);
         r.t_end = std::max(r.t_end, s.t1);
     }
@@ -149,15 +162,27 @@ OverlapReport summarize(std::span<const Span> spans) {
     });
 
     std::array<int, kLaneCount> active{};
+    std::array<int, kLaneCount> chaos_active{};
     const auto host = static_cast<std::size_t>(Lane::Host);
     double prev = evs.front().t;
     for (const auto& ev : evs) {
         const double dt = ev.t - prev;
         if (dt > 0.0) {
             int non_host_busy = 0;
-            for (std::size_t l = 0; l < kLaneCount; ++l)
-                if (l != host && active[l] > 0) ++non_host_busy;
+            bool any_chaos = false;
+            bool hiding_work = false;
+            for (std::size_t l = 0; l < kLaneCount; ++l) {
+                if (chaos_active[l] > 0) any_chaos = true;
+                if (l != host && active[l] > 0) {
+                    ++non_host_busy;
+                    if (chaos_active[l] == 0) hiding_work = true;
+                }
+            }
             if (non_host_busy > 0) r.union_busy += dt;
+            if (any_chaos) {
+                r.injected += dt;
+                if (hiding_work) r.injected_hidden += dt;
+            }
             for (std::size_t l = 0; l < kLaneCount; ++l) {
                 if (active[l] <= 0) continue;
                 r.busy[l] += dt;
@@ -171,7 +196,7 @@ OverlapReport summarize(std::span<const Span> spans) {
                     }
             }
         }
-        active[ev.lane] += ev.delta;
+        (ev.chaos ? chaos_active : active)[ev.lane] += ev.delta;
         prev = ev.t;
     }
 
@@ -214,6 +239,14 @@ std::string format_summary(const OverlapReport& report) {
                   "trace: %zu spans over %.3f ms, overlap factor %.2f\n",
                   report.span_count, wall * 1e3, report.overlap_factor);
     out += buf;
+    if (report.injected > 0.0) {
+        std::snprintf(buf, sizeof buf,
+                      "  chaos injected %.3f ms, hidden under work %.3f ms "
+                      "(absorbed %.0f%%)\n",
+                      report.injected * 1e3, report.injected_hidden * 1e3,
+                      report.absorbed() * 100.0);
+        out += buf;
+    }
     for (std::size_t l = 0; l < kLaneCount; ++l) {
         const auto lane = static_cast<Lane>(l);
         const double busy = report.busy[l];

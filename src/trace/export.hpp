@@ -38,6 +38,18 @@ struct OverlapReport {
     /// sched::StepReport::overlap_factor, measured instead of modelled).
     double overlap_factor = 0.0;
     std::size_t span_count = 0;
+    /// Chaos-injected time: the union of "chaos"-category spans
+    /// (docs/CHAOS.md). Injected stalls are not work, so these spans are
+    /// excluded from the per-lane accounting above — a held message is not
+    /// NIC busy time — and measured separately here.
+    double injected = 0.0;
+    /// Injected seconds during which some non-Host lane *not itself
+    /// carrying an active injection* was doing real (non-chaos) work: the
+    /// part of the injection the overlap structure hid. The same-lane
+    /// exclusion matters because blocking waits are recorded as lane
+    /// activity — a recv stalled on a delayed message shows as NIC busy,
+    /// and must not count as the work that hid the stall it suffered.
+    double injected_hidden = 0.0;
 
     [[nodiscard]] double busy_of(Lane lane) const {
         return busy[static_cast<std::size_t>(lane)];
@@ -49,6 +61,11 @@ struct OverlapReport {
     /// smaller of the two busy times. 0 = never concurrent, 1 = the less
     /// busy lane ran entirely under the busier one. 0 when either is idle.
     [[nodiscard]] double pair_fraction(Lane a, Lane b) const;
+    /// Fraction of injected time hidden under real work; 1.0 when nothing
+    /// was injected (the chaos::absorbed_fraction statistic, per report).
+    [[nodiscard]] double absorbed() const {
+        return injected > 0.0 ? injected_hidden / injected : 1.0;
+    }
 };
 
 /// Sweep-line accounting over the spans (any order accepted).

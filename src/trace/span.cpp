@@ -10,6 +10,7 @@ namespace advect::trace {
 namespace detail {
 
 std::atomic<bool> g_enabled{false};
+thread_local int t_mute = 0;
 
 namespace {
 
@@ -91,6 +92,13 @@ double now() {
     // here keeps first-use ordering correct without locking.
     auto& reg = detail::registry();
     return std::chrono::duration<double>(detail::Clock::now() - reg.epoch)
+        .count();
+}
+
+double epoch_seconds() {
+    auto& reg = detail::registry();
+    std::lock_guard lock(reg.mu);
+    return std::chrono::duration<double>(reg.epoch.time_since_epoch())
         .count();
 }
 

@@ -51,12 +51,16 @@ struct Span {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern thread_local int t_mute;
 }  // namespace detail
 
-/// Whether spans are being recorded. Inline relaxed load: the entire cost
-/// of instrumentation when tracing is off.
+/// Whether spans are being recorded on the calling thread. Inline relaxed
+/// load: the entire cost of instrumentation when tracing is off. The
+/// thread-local mute depth (ScopedMute) is only consulted after the load,
+/// so a muted scope costs nothing extra while tracing is off.
 [[nodiscard]] inline bool enabled() {
-    return detail::g_enabled.load(std::memory_order_relaxed);
+    return detail::g_enabled.load(std::memory_order_relaxed) &&
+           detail::t_mute == 0;
 }
 
 /// Turn recording on or off. Enabling for the first time (or after reset())
@@ -68,6 +72,12 @@ void reset();
 
 /// Seconds since the recorder epoch (monotonic clock).
 [[nodiscard]] double now();
+
+/// The recorder epoch itself, as seconds on the monotonic clock's own
+/// timeline (time_since_epoch). The clock is system-wide, so spans shipped
+/// between processes (the socket transport's workers, impl/launch) can be
+/// rebased onto one shared timeline: absolute time = epoch_seconds() + t.
+[[nodiscard]] double epoch_seconds();
 
 /// The calling thread's logical rank, attached to spans recorded without an
 /// explicit rank. msg::run_ranks sets it on every rank thread; ThreadTeam
@@ -107,6 +117,19 @@ class ScopedSpan {
     std::int32_t thread_;
     std::int32_t stream_;
     double t0_ = -1.0;  ///< < 0 marks an inert span
+};
+
+/// RAII: suppress span recording on the calling thread while alive
+/// (nestable). The msg collectives run their internal point-to-point
+/// machinery under a mute so the trace keeps the one logical span
+/// ("barrier", "allreduce_sum", ...) call sites have always produced.
+/// Other threads — chaos delivery threads included — are unaffected.
+class ScopedMute {
+  public:
+    ScopedMute() { ++detail::t_mute; }
+    ~ScopedMute() { --detail::t_mute; }
+    ScopedMute(const ScopedMute&) = delete;
+    ScopedMute& operator=(const ScopedMute&) = delete;
 };
 
 }  // namespace advect::trace

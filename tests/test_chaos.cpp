@@ -16,7 +16,9 @@
 #include "chaos/inject.hpp"
 #include "chaos/report.hpp"
 #include "chaos/scenario.hpp"
+#include "chaos/scenario_file.hpp"
 #include "core/problem.hpp"
+#include "impl/launch.hpp"
 #include "impl/registry.hpp"
 #include "msg/comm.hpp"
 #include "sched/node_model.hpp"
@@ -361,6 +363,120 @@ TEST(Report, TraceAbsorbedFractionFromSyntheticSpans) {
     add("step", "impl", trace::Lane::Host, 0.0, 3.0, 1);
     EXPECT_NEAR(chaos::absorbed_fraction(spans), 0.5, 1e-12);
     EXPECT_EQ(chaos::absorbed_fraction({}), 1.0);
+}
+
+// The runtime statistic (sweep-line over a real trace) and the DES model
+// must tell the same story: the overlapped implementation absorbs jitter
+// that the bulk-synchronous one exposes. Exact values differ — the model
+// runs Table-II hardware, the runtime a thread-simulated node — so the
+// agreement bound is loose, but the ordering must match.
+TEST(Report, RuntimeAbsorbedFractionAgreesWithTheModel) {
+    const auto jitter = chaos::nic_jitter(400.0, 13);
+    const auto runtime_absorbed = [&jitter](const char* id) {
+        impl::LaunchOptions opts;
+        opts.trace = true;
+        opts.fault_plan = &jitter;
+        const auto report =
+            impl::launch_solver(id, small_config(14, 3), opts);
+        EXPECT_GT(report.fault_log.size(), 0u) << id;
+        return chaos::absorbed_fraction(report.spans);
+    };
+    const double rt_bulk = runtime_absorbed("mpi_bulk");
+    const double rt_overlap = runtime_absorbed("mpi_nonblocking");
+
+    sched::RunConfig mcfg;
+    mcfg.machine = model::MachineSpec::yona();
+    mcfg.nodes = 4;
+    mcfg.threads_per_task = 12;
+    mcfg.faults = &jitter;
+    const double md_bulk =
+        sched::perturbed_step_time(sched::Code::B, mcfg).absorbed_fraction();
+    const double md_overlap =
+        sched::perturbed_step_time(sched::Code::C, mcfg).absorbed_fraction();
+
+    for (const double v : {rt_bulk, rt_overlap}) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GT(md_overlap, md_bulk);
+    EXPECT_GT(rt_overlap, rt_bulk - 0.1);
+    EXPECT_NEAR(rt_overlap, md_overlap, 0.5);
+    EXPECT_NEAR(rt_bulk, md_bulk, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// JSON scenario files (chaos/scenario_file.hpp).
+
+TEST(ScenarioFile, ParsesTheFullSchemaWithDefaults) {
+    const auto plan = chaos::plan_from_json(R"({
+        "seed": 9,
+        "timeout_s": 0.25,
+        "rules": [
+          { "kind": "msg_drop", "site": "send_x", "rank": 2,
+            "step_lo": -1, "step_hi": 4, "probability": 0.5,
+            "max_fires": 3 },
+          { "kind": "gpu_slow", "amplitude_us": 120.0 }
+        ]
+      })");
+    EXPECT_EQ(plan.seed, 9u);
+    EXPECT_EQ(plan.timeout_s, 0.25);
+    ASSERT_EQ(plan.rules.size(), 2u);
+    const auto& r0 = plan.rules[0];
+    EXPECT_EQ(r0.kind, chaos::FaultKind::MsgDrop);
+    EXPECT_EQ(r0.site, "send_x");
+    EXPECT_EQ(r0.rank, 2);
+    EXPECT_EQ(r0.step_lo, -1);
+    EXPECT_EQ(r0.step_hi, 4);
+    EXPECT_EQ(r0.probability, 0.5);
+    EXPECT_EQ(r0.max_fires, 3);
+    const auto& r1 = plan.rules[1];
+    EXPECT_EQ(r1.kind, chaos::FaultKind::GpuSlow);
+    EXPECT_EQ(r1.site, "");
+    EXPECT_EQ(r1.rank, -1);
+    EXPECT_EQ(r1.step_lo, 0);
+    EXPECT_EQ(r1.amplitude_us, 120.0);
+    EXPECT_EQ(r1.probability, 1.0);
+    EXPECT_EQ(r1.max_fires, -1);
+}
+
+TEST(ScenarioFile, RoundTripPreservesTheReplayedFaultLog) {
+    const auto cfg = small_config();
+    const auto& entry = impl::find_implementation("mpi_nonblocking");
+    const auto plan = chaos::nic_jitter(300.0, 5);
+    const auto reparsed = chaos::plan_from_json(chaos::plan_to_json(plan));
+    auto a = chaos_solve(entry, cfg, plan);
+    auto b = chaos_solve(entry, cfg, reparsed);
+    chaos::sort_log(a.log);
+    chaos::sort_log(b.log);
+    ASSERT_GT(a.log.size(), 0u);
+    EXPECT_EQ(a.log, b.log);
+}
+
+TEST(ScenarioFile, ErrorsNameTheOffendingKey) {
+    const auto expect_error = [](const char* text, const char* needle) {
+        try {
+            (void)chaos::plan_from_json(text, "<t>");
+            FAIL() << "expected std::invalid_argument for " << text;
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << e.what();
+        }
+    };
+    expect_error(R"({"rules":[{"kind":"msg_delay","probability":1.5}]})",
+                 "rules[0].probability");
+    expect_error(R"({"rules":[{"kind":"quantum_flip"}]})", "rules[0].kind");
+    expect_error(R"({"rules":[{"kind":"msg_drop","wobble":1}]})",
+                 "rules[0].wobble");
+    expect_error(R"({"rules":[{"site":"send_x"}]})", "rules[0].kind");
+    expect_error(R"({"seed":-3,"rules":[]})", "seed");
+    expect_error(R"({"bogus":1,"rules":[]})", "bogus");
+    expect_error(R"({"seed":1})", "rules");
+    expect_error(
+        R"({"rules":[{"kind":"msg_drop","step_lo":2,"step_hi":1}]})",
+        "rules[0].step_hi");
+    expect_error("{", "<t>");
+    EXPECT_THROW((void)chaos::load_plan_file("/nonexistent/zzz.json"),
+                 std::runtime_error);
 }
 
 TEST(Scenario, RegistryRoundTripsAndRejectsUnknown) {

@@ -83,7 +83,7 @@ TEST_P(Exchange, StagedInterfaceEquivalent) {
         for (int d = 0; d < 3; ++d) {
             ex.start_dim(comm, f, d);
             // Arbitrary local work may happen here (the overlap window).
-            ex.finish_dim(f, d);
+            ex.finish_dim(comm, f, d);
         }
         expect_halos_correct(f, g, decomp.origin(rank));
     });

@@ -1,0 +1,309 @@
+// Tests for the transport seam (docs/TRANSPORT.md): wire framing, the
+// forked socket-rank launcher, cross-backend parity for all nine
+// implementations (bitwise solutions, identical chaos fault logs, identical
+// trace shapes), and the collective deadline contract — a chaos drop inside
+// a collective terminates with CollectiveTimeoutError naming the stalled
+// phase and rank instead of hanging.
+//
+// These tests fork; keep them out of any TSan job (thread sanitizers and
+// fork do not mix).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "chaos/inject.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/scenario_file.hpp"
+#include "core/problem.hpp"
+#include "impl/launch.hpp"
+#include "impl/registry.hpp"
+#include "msg/comm.hpp"
+#include "msg/transport/process.hpp"
+#include "msg/transport/wire.hpp"
+
+namespace chaos = advect::chaos;
+namespace core = advect::core;
+namespace impl = advect::impl;
+namespace msg = advect::msg;
+namespace wire = advect::msg::wire;
+
+namespace {
+
+impl::SolverConfig small_config(int n = 12, int steps = 2) {
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(n);
+    cfg.steps = steps;
+    cfg.ntasks = 4;
+    cfg.threads_per_task = 2;
+    cfg.block_x = 8;
+    cfg.block_y = 4;
+    return cfg;
+}
+
+double elapsed_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/// (name, category) multiset of a span list: the backend-independent trace
+/// shape (timings differ run to run; the set of recorded spans must not).
+std::vector<std::pair<std::string, std::string>> shape_of(
+    const std::vector<advect::trace::Span>& spans) {
+    std::vector<std::pair<std::string, std::string>> shape;
+    shape.reserve(spans.size());
+    for (const auto& s : spans) shape.emplace_back(s.name, s.category);
+    std::sort(shape.begin(), shape.end());
+    return shape;
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing.
+
+TEST(Wire, WriterReaderRoundTrip) {
+    wire::ByteWriter w;
+    w.u8(7);
+    w.u32(123456u);
+    w.u64(1ull << 40);
+    w.i32(-42);
+    w.f64(3.25);
+    w.str("hello wire");
+    const std::vector<double> payload{1.0, -2.5, 1e300};
+    w.doubles(payload);
+    const auto bytes = w.take();
+
+    wire::ByteReader r(bytes);
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u32(), 123456u);
+    EXPECT_EQ(r.u64(), 1ull << 40);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.f64(), 3.25);
+    EXPECT_EQ(r.str(), "hello wire");
+    const auto d = r.doubles();
+    EXPECT_TRUE(std::equal(d.begin(), d.end(), payload.begin(),
+                           payload.end()));
+    EXPECT_TRUE(r.done());
+}
+
+// ---------------------------------------------------------------------------
+// The forked socket-rank launcher.
+
+TEST(ProcessRanks, RingExchangeAcrossProcesses) {
+    const int n = 3;
+    const auto payloads =
+        msg::run_process_ranks(n, [](msg::Communicator& comm) {
+            const int rank = comm.rank();
+            const int next = (rank + 1) % comm.size();
+            const int prev = (rank + comm.size() - 1) % comm.size();
+            const std::vector<double> out{static_cast<double>(rank), 0.5};
+            std::vector<double> in(2);
+            auto req = comm.irecv(prev, 3, in);
+            comm.isend(next, 3, out).wait();
+            req.wait();
+            const double sum = comm.allreduce_sum(in[0]);
+            comm.barrier();
+            wire::ByteWriter w;
+            w.f64(in[0]);
+            w.f64(sum);
+            return w.take();
+        });
+    ASSERT_EQ(payloads.size(), 3u);
+    for (int rank = 0; rank < n; ++rank) {
+        wire::ByteReader r(payloads[static_cast<std::size_t>(rank)]);
+        EXPECT_EQ(r.f64(), static_cast<double>((rank + n - 1) % n)) << rank;
+        EXPECT_EQ(r.f64(), 3.0) << rank;  // 0 + 1 + 2
+    }
+}
+
+TEST(ProcessRanks, WorkerErrorSurfacesInTheParent) {
+    EXPECT_THROW(
+        (void)msg::run_process_ranks(2,
+                                     [](msg::Communicator& comm)
+                                         -> std::vector<std::uint8_t> {
+                                         if (comm.rank() == 1)
+                                             throw std::runtime_error(
+                                                 "worker boom");
+                                         return {};
+                                     }),
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend parity: the socket substrate must be invisible in results.
+
+TEST(Parity, AllNineBitwiseIdenticalAcrossTransports) {
+    const auto cfg = small_config();
+    for (const auto& entry : impl::registry()) {
+        impl::LaunchOptions inproc;
+        impl::LaunchOptions socket;
+        socket.transport = impl::TransportKind::Socket;
+        const auto a = impl::launch_solver(entry.id, cfg, inproc);
+        const auto b = impl::launch_solver(entry.id, cfg, socket);
+        EXPECT_TRUE(a.result.state.interior_equals(b.result.state))
+            << entry.id;
+        EXPECT_GT(b.result.wall_seconds, 0.0) << entry.id;
+    }
+}
+
+TEST(Parity, ChaosSeedReplayLogsIdenticalAcrossTransports) {
+    const auto cfg = small_config(14, 3);
+    const auto jitter = chaos::nic_jitter(150.0, 42);
+    const auto drops = chaos::message_drops(0.5, 11);
+    for (const auto* plan : {&jitter, &drops}) {
+        impl::LaunchOptions inproc;
+        inproc.fault_plan = plan;
+        impl::LaunchOptions socket = inproc;
+        socket.transport = impl::TransportKind::Socket;
+        const auto a = impl::launch_solver("mpi_nonblocking", cfg, inproc);
+        const auto b = impl::launch_solver("mpi_nonblocking", cfg, socket);
+        ASSERT_GT(a.fault_log.size(), 0u);
+        ASSERT_EQ(a.fault_log.size(), b.fault_log.size());
+        EXPECT_EQ(a.fault_log, b.fault_log);  // sorted by the launcher
+        EXPECT_TRUE(a.result.state.interior_equals(b.result.state));
+    }
+}
+
+TEST(Parity, TraceShapeIdenticalAcrossTransports) {
+    const auto cfg = small_config();
+    for (const char* id : {"mpi_bulk", "cpu_gpu_overlap"}) {
+        impl::LaunchOptions inproc;
+        inproc.trace = true;
+        impl::LaunchOptions socket = inproc;
+        socket.transport = impl::TransportKind::Socket;
+        const auto a = impl::launch_solver(id, cfg, inproc);
+        const auto b = impl::launch_solver(id, cfg, socket);
+        ASSERT_GT(a.spans.size(), 0u) << id;
+        EXPECT_EQ(shape_of(a.spans), shape_of(b.spans)) << id;
+        // Worker spans were rebased onto the parent's timeline: they must
+        // sit near zero, not at the absolute monotonic clock.
+        for (const auto& s : b.spans) {
+            EXPECT_GE(s.t1, s.t0) << id;
+            EXPECT_LT(s.t1, 120.0) << id;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The headline bugfix: a chaos drop inside a collective must not hang.
+
+/// A plan that drops every message of one collective site and whose receive
+/// timeout is far beyond the test deadline, so only the deadline path can
+/// terminate the wait.
+chaos::FaultPlan drop_collective(const char* site, double timeout_s) {
+    chaos::FaultPlan plan;
+    plan.seed = 5;
+    plan.timeout_s = timeout_s;
+    chaos::FaultRule rule;
+    rule.kind = chaos::FaultKind::MsgDrop;
+    rule.site = site;
+    rule.step_lo = -1;  // harness collectives run at step -1
+    rule.probability = 1.0;
+    plan.rules.push_back(rule);
+    return plan;
+}
+
+TEST(CollectiveTimeout, DropInAllreduceThrowsTypedErrorNotHang) {
+    const auto plan = drop_collective("allreduce_sum", /*timeout_s=*/30.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    chaos::Session session(plan);
+    try {
+        msg::run_ranks(3, [](msg::Communicator& comm) {
+            (void)comm.allreduce_sum(1.0, /*timeout_seconds=*/0.3);
+        });
+        FAIL() << "expected CollectiveTimeoutError";
+    } catch (const msg::CollectiveTimeoutError& e) {
+        EXPECT_EQ(e.op(), "allreduce_sum");
+        EXPECT_FALSE(e.phase().empty());
+        EXPECT_GE(e.rank(), 0);
+        EXPECT_LT(e.rank(), 3);
+        EXPECT_NE(std::string(e.what()).find("stalled in"),
+                  std::string::npos);
+    }
+    // The whole point: terminate in ~the deadline, not the chaos timeout
+    // (30 s) and certainly not forever.
+    EXPECT_LT(elapsed_since(t0), 5.0);
+}
+
+TEST(CollectiveTimeout, BroadcastAndMaxHonourDeadlines) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        const auto plan = drop_collective("broadcast", 30.0);
+        chaos::Session session(plan);
+        try {
+            msg::run_ranks(2, [](msg::Communicator& comm) {
+                (void)comm.broadcast(7.0, /*root=*/0,
+                                     /*timeout_seconds=*/0.2);
+            });
+            FAIL() << "expected CollectiveTimeoutError";
+        } catch (const msg::CollectiveTimeoutError& e) {
+            EXPECT_EQ(e.op(), "broadcast");
+        }
+    }
+    {
+        const auto plan = drop_collective("allreduce_max", 30.0);
+        chaos::Session session(plan);
+        try {
+            msg::run_ranks(2, [](msg::Communicator& comm) {
+                (void)comm.allreduce_max(1.0, /*timeout_seconds=*/0.2);
+            });
+            FAIL() << "expected CollectiveTimeoutError";
+        } catch (const msg::CollectiveTimeoutError& e) {
+            EXPECT_EQ(e.op(), "allreduce_max");
+        }
+    }
+    EXPECT_LT(elapsed_since(t0), 5.0);
+}
+
+TEST(CollectiveTimeout, DropRecoversThroughRetransmissionWithoutDeadline) {
+    // Same drop, but a sane chaos receive timeout and no user deadline: the
+    // collective retransmits and completes with the right answer.
+    const auto plan = drop_collective("allreduce_sum", /*timeout_s=*/0.02);
+    chaos::Session session(plan);
+    msg::run_ranks(3, [](msg::Communicator& comm) {
+        EXPECT_EQ(comm.allreduce_sum(static_cast<double>(comm.rank())), 3.0);
+    });
+    std::size_t drops = 0;
+    for (const auto& e : session.log())
+        if (e.kind == chaos::FaultKind::MsgDrop) ++drops;
+    EXPECT_GE(drops, 1u);
+}
+
+TEST(CollectiveTimeout, GenerousDeadlineIsHarmlessWithoutChaos) {
+    msg::run_ranks(4, [](msg::Communicator& comm) {
+        EXPECT_EQ(comm.allreduce_sum(1.0, /*timeout_seconds=*/30.0), 4.0);
+        EXPECT_EQ(comm.allreduce_max(static_cast<double>(comm.rank()), 30.0),
+                  3.0);
+        EXPECT_EQ(comm.broadcast(2.5, /*root=*/1, 30.0), 2.5);
+    });
+}
+
+TEST(CollectiveTimeout, SocketBackendTimesOutToo) {
+    // Across the process boundary the error arrives as std::runtime_error
+    // carrying the worker's message (run_process_ranks contract); the text
+    // still names the collective, the stalled phase and the rank.
+    const auto cfg = small_config();
+    const auto plan = drop_collective("allreduce_max", /*timeout_s=*/30.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        (void)msg::run_process_ranks(2, [&plan](msg::Communicator& comm) {
+            chaos::Session session(plan);
+            (void)comm.allreduce_max(1.0, /*timeout_seconds=*/0.3);
+            return std::vector<std::uint8_t>{};
+        });
+        FAIL() << "expected a timeout error from the workers";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("allreduce_max"), std::string::npos);
+        EXPECT_NE(what.find("stalled in"), std::string::npos);
+    }
+    EXPECT_LT(elapsed_since(t0), 10.0);
+    (void)cfg;
+}
+
+}  // namespace

@@ -9,10 +9,19 @@
 ///       trace-event JSON timeline and print the measured overlap summary
 ///   advectctl chaos   [scenario] [impl] [x] [seed] [n] [steps] [tasks]
 ///                     [threads] [out.json]
-///       run one implementation for real under a named fault scenario
-///       (docs/CHAOS.md), export a Chrome trace with the injected spans in
-///       their own category, print the fault log and the trace-derived
-///       absorbed fraction, and verify against the fault-free reference
+///       run one implementation for real under a fault scenario — a named
+///       one (docs/CHAOS.md) or a JSON scenario file (*.json,
+///       chaos/scenario_file.hpp) — export a Chrome trace with the injected
+///       spans in their own category, print the fault log, the overlap
+///       summary with its injected-vs-hidden line, and verify against the
+///       fault-free reference
+///   advectctl launch  [--transport inproc|socket] [--ranks N]
+///                     [--chaos scenario|file.json] [--x amp] [--seed s]
+///                     [--trace out.json] [impl] [n] [steps] [threads]
+///       run one implementation through the launcher (docs/TRANSPORT.md):
+///       ranks as threads over the in-process mailbox, or as forked worker
+///       processes over the Unix-socket transport. Output (solution check,
+///       fault log, trace summary) is identical across backends
 ///   advectctl plan    [impl] [n] [tasks] [box] [out.json]
 ///       print one implementation's step plan (tasks, lanes, dependencies) —
 ///       the IR both the executor and the DES model consume — and
@@ -34,12 +43,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "chaos/inject.hpp"
 #include "chaos/report.hpp"
 #include "chaos/scenario.hpp"
+#include "chaos/scenario_file.hpp"
 #include "core/decomposition.hpp"
+#include "impl/launch.hpp"
 #include "impl/registry.hpp"
 #include "plan/builders.hpp"
 #include "sched/report.hpp"
@@ -151,14 +164,31 @@ int cmd_chaos(int argc, char** argv) {
     const std::string out_path =
         argc > 8 ? argv[8] : (id + ".chaos.trace.json");
 
-    const chaos::FaultPlan plan = chaos::scenario_by_name(scenario, x, seed);
+    // A scenario argument ending in .json names a scenario file
+    // (chaos/scenario_file.hpp); x and seed then come from the file.
+    const bool from_file =
+        scenario.size() > 5 &&
+        scenario.compare(scenario.size() - 5, 5, ".json") == 0;
+    const chaos::FaultPlan plan = from_file
+                                      ? chaos::load_plan_file(scenario)
+                                      : chaos::scenario_by_name(scenario, x,
+                                                                seed);
     const auto& entry = impl::find_implementation(id);
     if (!entry.uses_mpi) cfg.ntasks = 1;
-    std::printf("chaos '%s' (x=%g, seed=%llu) on %d^3 x %d steps of %s "
-                "(%s)...\n",
-                scenario.c_str(), x,
-                static_cast<unsigned long long>(seed), cfg.problem.domain.n,
-                cfg.steps, entry.id.c_str(), entry.paper_section.c_str());
+    if (from_file)
+        std::printf("chaos file '%s' (%zu rules, seed=%llu) on %d^3 x %d "
+                    "steps of %s (%s)...\n",
+                    scenario.c_str(), plan.rules.size(),
+                    static_cast<unsigned long long>(plan.seed),
+                    cfg.problem.domain.n, cfg.steps, entry.id.c_str(),
+                    entry.paper_section.c_str());
+    else
+        std::printf("chaos '%s' (x=%g, seed=%llu) on %d^3 x %d steps of %s "
+                    "(%s)...\n",
+                    scenario.c_str(), x,
+                    static_cast<unsigned long long>(seed),
+                    cfg.problem.domain.n, cfg.steps, entry.id.c_str(),
+                    entry.paper_section.c_str());
 
     trace::reset();
     trace::set_enabled(true);
@@ -196,7 +226,110 @@ int cmd_chaos(int argc, char** argv) {
         if (log.size() > kShow)
             std::printf("  ... (%zu more)\n", log.size() - kShow);
     }
+    // The overlap summary folds the injection in: its chaos line shows
+    // injected time vs the share hidden under real work.
+    std::fputs(trace::format_summary(trace::summarize(spans)).c_str(),
+               stdout);
     std::printf("  matches reference: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}
+
+int cmd_launch(int argc, char** argv) {
+    namespace chaos = advect::chaos;
+    namespace trace = advect::trace;
+    impl::LaunchOptions opts;
+    std::string chaos_arg;
+    std::string trace_path;
+    double x = 200.0;
+    std::uint64_t seed = 42;
+    int ranks = 4;
+    std::vector<std::string> pos;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (++i >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        if (a == "--transport")
+            opts.transport = impl::transport_from_name(next());
+        else if (a == "--ranks")
+            ranks = std::atoi(next());
+        else if (a == "--chaos")
+            chaos_arg = next();
+        else if (a == "--x")
+            x = std::atof(next());
+        else if (a == "--seed")
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (a == "--trace") {
+            trace_path = next();
+            opts.trace = true;
+        } else {
+            pos.push_back(a);
+        }
+    }
+    const std::string id = !pos.empty() ? pos[0] : "cpu_gpu_overlap";
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(
+        pos.size() > 1 ? std::atoi(pos[1].c_str()) : 24);
+    cfg.steps = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 8;
+    cfg.threads_per_task = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 2;
+    cfg.ntasks = ranks;
+    cfg.block_x = 8;
+    cfg.block_y = 4;
+
+    std::optional<chaos::FaultPlan> plan;
+    if (!chaos_arg.empty()) {
+        const bool from_file =
+            chaos_arg.size() > 5 &&
+            chaos_arg.compare(chaos_arg.size() - 5, 5, ".json") == 0;
+        plan = from_file ? chaos::load_plan_file(chaos_arg)
+                         : chaos::scenario_by_name(chaos_arg, x, seed);
+        opts.fault_plan = &*plan;
+    }
+
+    const auto& entry = impl::find_implementation(id);
+    std::printf("launching %d^3 x %d steps of %s (%s) on the %s transport, "
+                "%d rank(s)...\n",
+                cfg.problem.domain.n, cfg.steps, entry.id.c_str(),
+                entry.paper_section.c_str(),
+                impl::transport_name(opts.transport),
+                entry.uses_mpi ? cfg.ntasks : 1);
+    const impl::LaunchReport report = impl::launch_solver(id, cfg, opts);
+
+    const auto ref = core::run_reference(cfg.problem, cfg.steps);
+    const bool ok = report.result.state.interior_equals(ref);
+    std::printf("  wall %.3f s   host %.2f GF   Linf vs analytic %.3e   "
+                "matches reference: %s\n",
+                report.result.wall_seconds, report.result.gf(cfg),
+                report.result.error.linf, ok ? "yes" : "NO");
+    if (plan) {
+        std::printf("  %zu faults fired\n", report.fault_log.size());
+        constexpr std::size_t kShow = 10;
+        std::fputs(chaos::format_log(
+                       {report.fault_log.data(),
+                        std::min(report.fault_log.size(), kShow)})
+                       .c_str(),
+                   stdout);
+        if (report.fault_log.size() > kShow)
+            std::printf("  ... (%zu more)\n", report.fault_log.size() - kShow);
+    }
+    if (opts.trace) {
+        std::FILE* f = std::fopen(trace_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            return 1;
+        }
+        std::fputs(trace::to_chrome_json(report.spans).c_str(), f);
+        std::fclose(f);
+        std::printf("  %zu spans -> %s (chrome://tracing)\n",
+                    report.spans.size(), trace_path.c_str());
+        std::fputs(
+            trace::format_summary(trace::summarize(report.spans)).c_str(),
+            stdout);
+    }
     return ok ? 0 : 1;
 }
 
@@ -358,14 +491,17 @@ int cmd_impls() {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: advectctl <solve|trace|chaos|plan|model|tune|"
+                 "usage: advectctl <solve|trace|chaos|launch|plan|model|tune|"
                  "scaling|gantt|machines|impls> [args...]\n"
                  "  solve   [impl] [n] [steps] [tasks] [threads]\n"
                  "  trace   [impl] [n] [steps] [tasks] [threads] [out.json]\n"
                  "  chaos   [scenario] [impl] [x] [seed] [n] [steps] [tasks]"
                  " [threads] [out.json]\n"
                  "          scenarios: nic-jitter message-drops gpu-slow"
-                 " gpu-flaky straggler\n"
+                 " gpu-flaky straggler, or a *.json scenario file\n"
+                 "  launch  [--transport inproc|socket] [--ranks N]"
+                 " [--chaos scenario|file.json] [--x amp] [--seed s]\n"
+                 "          [--trace out.json] [impl] [n] [steps] [threads]\n"
                  "  plan    [impl] [n] [tasks] [box] [out.json]\n"
                  "  model   [machine] [impl] [nodes] [threads] [box]\n"
                  "  tune    [machine] [nodes]\n"
@@ -385,6 +521,7 @@ int main(int argc, char** argv) {
         if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
         if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
         if (cmd == "chaos") return cmd_chaos(argc - 2, argv + 2);
+        if (cmd == "launch") return cmd_launch(argc - 2, argv + 2);
         if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
         if (cmd == "model") return cmd_model(argc - 2, argv + 2);
         if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
