@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/fused.hpp"
 #include "core/halo.hpp"
 #include "core/problem.hpp"
 #include "core/rows.hpp"
@@ -42,6 +43,41 @@ void BM_StencilSweep(benchmark::State& state) {
         benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_StencilSweep)->Arg(24)->Arg(48)->Arg(64);
+
+/// Temporal blocking (docs/PERF.md): one iteration advances `fuse` time
+/// steps through cache-sized fused tiles from a fuse-deep halo, so items/s
+/// counts n^3 * fuse point-updates per iteration. The gate compares the
+/// best fused factor against BM_StencilSweep at the same n.
+void BM_StencilSweepFused(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const int fuse = static_cast<int>(state.range(1));
+    core::Field3 cur({n, n, n}, fuse, 1.0);
+    core::Field3 nxt({n, n, n}, fuse);
+    const auto a = core::tensor_product_coeffs({1, 1, 1}, 1.0);
+    const core::FusedSweepPlan plan({cur.interior()}, fuse);
+    std::vector<double> scratch(plan.scratch_doubles());
+    core::fill_periodic_halo(cur);
+    for (auto _ : state) {
+        core::apply_fused_sweep(a, cur, nxt, plan, scratch);
+        benchmark::DoNotOptimize(nxt.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n * n * fuse);
+    state.counters["GF"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * n * n * n * fuse *
+            core::kFlopsPerPoint,
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_StencilSweepFused)
+    ->Args({24, 2})
+    ->Args({24, 3})
+    ->Args({24, 4})
+    ->Args({48, 2})
+    ->Args({48, 3})
+    ->Args({48, 4})
+    ->Args({64, 2})
+    ->Args({64, 3})
+    ->Args({64, 4});
 
 void BM_StencilRows(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));

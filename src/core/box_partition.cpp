@@ -30,10 +30,16 @@ std::vector<Range3> box_subtract(const Range3& a, const Range3& b) {
     return out;
 }
 
-BoxPartition::BoxPartition(Extents3 local, int thickness)
-    : local_(local), t_(thickness) {
+BoxPartition::BoxPartition(Extents3 local, int thickness, int halo_depth)
+    : local_(local), t_(thickness), d_(halo_depth) {
     if (thickness < 1)
         throw std::invalid_argument("BoxPartition: thickness must be >= 1");
+    if (halo_depth < 1)
+        throw std::invalid_argument("BoxPartition: halo_depth must be >= 1");
+    if (halo_depth > thickness)
+        throw std::invalid_argument(
+            "BoxPartition: halo_depth exceeds the wall thickness (the GPU "
+            "halo shell would reach into the task's outer halo)");
     const int mn = std::min({local.nx, local.ny, local.nz});
     if (2 * thickness >= mn)
         throw std::invalid_argument(
@@ -43,7 +49,7 @@ BoxPartition::BoxPartition(Extents3 local, int thickness)
     // Disjoint wall slabs in the same peeling order as box_subtract.
     const int nx = local.nx, ny = local.ny, nz = local.nz, t = t_;
     const Range3 whole = {{0, 0, 0}, {nx, ny, nz}};
-    const Range3 interior1 = expand(whole, -1);
+    const Range3 interior1 = expand(whole, -d_);
     auto add_wall = [this, &interior1](int dim, int dir, Range3 w) {
         Wall wall;
         wall.dim = dim;
@@ -63,11 +69,11 @@ BoxPartition::BoxPartition(Extents3 local, int thickness)
 }
 
 std::vector<Range3> BoxPartition::gpu_halo_shell() const {
-    return box_subtract(expand(block_, 1), block_);
+    return box_subtract(expand(block_, d_), block_);
 }
 
 std::vector<Range3> BoxPartition::block_boundary_shell() const {
-    return box_subtract(block_, expand(block_, -1));
+    return box_subtract(block_, expand(block_, -d_));
 }
 
 }  // namespace advect::core

@@ -19,9 +19,9 @@ namespace advect::core {
 [[nodiscard]] std::vector<Range3> box_subtract(const Range3& a, const Range3& b);
 
 /// A wall of the CPU box, split for the full-overlap implementation
-/// (§IV-I): `outer` pieces touch the task's outer halo and must wait for MPI
-/// completion in this wall's dimension; `inner` pieces can be computed while
-/// that communication is in flight.
+/// (§IV-I): `outer` pieces reach within halo_depth of the task's outer halo
+/// and must wait for MPI completion in this wall's dimension; `inner` pieces
+/// can be computed while that communication is in flight.
 struct Wall {
     int dim = 0;   ///< dimension of the wall normal (0..2)
     int dir = 0;   ///< -1 low wall, +1 high wall
@@ -34,23 +34,27 @@ struct Wall {
 /// [t, n-t)^3 and six disjoint CPU wall slabs of thickness t.
 class BoxPartition {
   public:
-    /// Build the partition. Requires 1 <= thickness and a non-empty GPU
-    /// block (thickness < min extent / 2); throws std::invalid_argument
-    /// otherwise.
-    BoxPartition(Extents3 local, int thickness);
+    /// Build the partition. `halo_depth` is the ghost width the step
+    /// consumes (1 single-step, the fuse factor F for temporal blocking): it
+    /// sets the thickness of the exchanged CPU/GPU shells and the wall
+    /// inner/outer split. Requires 1 <= halo_depth <= thickness and a
+    /// non-empty GPU block (thickness < min extent / 2); throws
+    /// std::invalid_argument otherwise.
+    BoxPartition(Extents3 local, int thickness, int halo_depth = 1);
 
     [[nodiscard]] Extents3 local() const { return local_; }
     [[nodiscard]] int thickness() const { return t_; }
+    [[nodiscard]] int halo_depth() const { return d_; }
     /// The interior block computed by the GPU.
     [[nodiscard]] Range3 gpu_block() const { return block_; }
     /// The six CPU wall slabs (z-low, z-high, y-low, y-high, x-low, x-high),
     /// disjoint and together covering local \ gpu_block().
     [[nodiscard]] const std::vector<Wall>& cpu_walls() const { return walls_; }
 
-    /// One-point-thick CPU-owned shell immediately surrounding the GPU
+    /// halo_depth-thick CPU-owned shell immediately surrounding the GPU
     /// block: the source of the GPU's halo (copied host-to-device each step).
     [[nodiscard]] std::vector<Range3> gpu_halo_shell() const;
-    /// One-point-thick outermost layer of the GPU block: the data the CPU
+    /// halo_depth-thick outermost layer of the GPU block: the data the CPU
     /// walls need from the GPU (copied device-to-host each step).
     [[nodiscard]] std::vector<Range3> block_boundary_shell() const;
 
@@ -64,6 +68,7 @@ class BoxPartition {
   private:
     Extents3 local_{};
     int t_ = 1;
+    int d_ = 1;
     Range3 block_{};
     std::vector<Wall> walls_;
 };

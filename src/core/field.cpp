@@ -27,9 +27,9 @@ bool Field3::interior_equals(const Field3& other) const {
 }
 
 void Field3::fill_halo(double value) {
-    for (int k = -1; k <= n_.nz; ++k)
-        for (int j = -1; j <= n_.ny; ++j)
-            for (int i = -1; i <= n_.nx; ++i) {
+    for (int k = -h_; k <= n_.nz + h_ - 1; ++k)
+        for (int j = -h_; j <= n_.ny + h_ - 1; ++j)
+            for (int i = -h_; i <= n_.nx + h_ - 1; ++i) {
                 const bool interior = i >= 0 && i < n_.nx && j >= 0 &&
                                       j < n_.ny && k >= 0 && k < n_.nz;
                 if (!interior) (*this)(i, j, k) = value;

@@ -2,7 +2,9 @@
 /// \file field.hpp
 /// Halo-padded 3-D scalar field, the state container for the advection state
 /// u(x, y, z). Each local field stores its interior points plus a halo of
-/// width 1 on every side (the 3x3x3 stencil needs one ghost layer).
+/// width h on every side: h = 1 (the default) for the single-step stencil,
+/// h = F for a temporal-blocking run fusing F steps per exchanged halo
+/// (docs/PERF.md "Temporal blocking").
 
 #include <cassert>
 #include <span>
@@ -13,25 +15,34 @@
 namespace advect::core {
 
 /// A 3-D array of doubles with interior extents (nx, ny, nz) and a halo of
-/// width 1. Valid indices per dimension are [-1, n]; x is contiguous.
+/// width h. Valid indices per dimension are [-h, n+h-1]; x is contiguous.
 class Field3 {
   public:
     Field3() = default;
     explicit Field3(Extents3 interior, double fill = 0.0)
+        : Field3(interior, 1, fill) {}
+    Field3(Extents3 interior, int halo, double fill = 0.0)
         : n_(interior),
-          sx_(interior.nx + 2),
-          sxy_(static_cast<std::size_t>(interior.nx + 2) *
-               static_cast<std::size_t>(interior.ny + 2)),
-          data_(sxy_ * static_cast<std::size_t>(interior.nz + 2), fill) {}
+          h_(halo),
+          sx_(interior.nx + 2 * halo),
+          sxy_(static_cast<std::size_t>(interior.nx + 2 * halo) *
+               static_cast<std::size_t>(interior.ny + 2 * halo)),
+          data_(sxy_ * static_cast<std::size_t>(interior.nz + 2 * halo),
+                fill) {
+        assert(halo >= 1);
+    }
 
     /// Interior extents (halo excluded).
     [[nodiscard]] Extents3 extents() const { return n_; }
+    /// Ghost-layer width on every side.
+    [[nodiscard]] int halo_width() const { return h_; }
     /// Interior point count.
     [[nodiscard]] std::size_t interior_volume() const { return n_.volume(); }
     /// Total allocation including halos.
     [[nodiscard]] std::size_t storage_size() const { return data_.size(); }
 
-    /// Access point (i, j, k); halo points use index -1 or n in a dimension.
+    /// Access point (i, j, k); halo points use indices down to -h or up to
+    /// n+h-1 in a dimension.
     [[nodiscard]] double& operator()(int i, int j, int k) {
         return data_[offset(i, j, k)];
     }
@@ -47,12 +58,12 @@ class Field3 {
 
     /// Linear offset of (i, j, k) in the padded layout.
     [[nodiscard]] std::size_t offset(int i, int j, int k) const {
-        assert(i >= -1 && i <= n_.nx);
-        assert(j >= -1 && j <= n_.ny);
-        assert(k >= -1 && k <= n_.nz);
-        return static_cast<std::size_t>(i + 1) +
-               static_cast<std::size_t>(sx_) * static_cast<std::size_t>(j + 1) +
-               sxy_ * static_cast<std::size_t>(k + 1);
+        assert(i >= -h_ && i <= n_.nx + h_ - 1);
+        assert(j >= -h_ && j <= n_.ny + h_ - 1);
+        assert(k >= -h_ && k <= n_.nz + h_ - 1);
+        return static_cast<std::size_t>(i + h_) +
+               static_cast<std::size_t>(sx_) * static_cast<std::size_t>(j + h_) +
+               sxy_ * static_cast<std::size_t>(k + h_);
     }
 
     /// Raw storage including halos (x fastest).
@@ -66,8 +77,8 @@ class Field3 {
         return static_cast<std::ptrdiff_t>(sxy_);
     }
 
-    /// Pointer to point (i, j, k); like operator(), halo indices -1 and n are
-    /// valid. The x-row starting here is contiguous.
+    /// Pointer to point (i, j, k); like operator(), halo indices are valid.
+    /// The x-row starting here is contiguous.
     [[nodiscard]] double* ptr(int i, int j, int k) {
         return data_.data() + offset(i, j, k);
     }
@@ -92,6 +103,7 @@ class Field3 {
 
     void swap(Field3& other) noexcept {
         std::swap(n_, other.n_);
+        std::swap(h_, other.h_);
         std::swap(sx_, other.sx_);
         std::swap(sxy_, other.sxy_);
         data_.swap(other.data_);
@@ -99,6 +111,7 @@ class Field3 {
 
   private:
     Extents3 n_{};
+    int h_ = 1;           // halo (ghost) width per side
     int sx_ = 0;          // padded x stride
     std::size_t sxy_ = 0; // padded xy-plane stride
     std::vector<double> data_;

@@ -13,30 +13,33 @@ struct Transverse {
     int klo, khi;  // bounds of the higher-numbered other dimension
 };
 
-Transverse transverse_for(const Extents3& n, int dim) {
+Transverse transverse_for(const Extents3& n, int dim, int depth) {
     switch (dim) {
-        case 0: return {0, n.ny, 0, n.nz};          // x stage: interior j,k
-        case 1: return {-1, n.nx + 1, 0, n.nz};     // y stage: full i, interior k
-        default: return {-1, n.nx + 1, -1, n.ny + 1};  // z stage: full i,j
+        case 0:  // x stage: interior j,k
+            return {0, n.ny, 0, n.nz};
+        case 1:  // y stage: full i, interior k
+            return {-depth, n.nx + depth, 0, n.nz};
+        default:  // z stage: full i,j
+            return {-depth, n.nx + depth, -depth, n.ny + depth};
     }
 }
 
-/// Build the Range3 for a plane at coordinate `c` in dimension `dim` with
-/// transverse bounds `t`.
-Range3 plane(int dim, int c, const Transverse& t) {
+/// Build the Range3 for the slab [c0, c1) in dimension `dim` with transverse
+/// bounds `t`.
+Range3 slab(int dim, int c0, int c1, const Transverse& t) {
     Range3 r;
     switch (dim) {
         case 0:
-            r.lo = {c, t.jlo, t.klo};
-            r.hi = {c + 1, t.jhi, t.khi};
+            r.lo = {c0, t.jlo, t.klo};
+            r.hi = {c1, t.jhi, t.khi};
             break;
         case 1:
-            r.lo = {t.jlo, c, t.klo};
-            r.hi = {t.jhi, c + 1, t.khi};
+            r.lo = {t.jlo, c0, t.klo};
+            r.hi = {t.jhi, c1, t.khi};
             break;
         default:
-            r.lo = {t.jlo, t.klo, c};
-            r.hi = {t.jhi, t.khi, c + 1};
+            r.lo = {t.jlo, t.klo, c0};
+            r.hi = {t.jhi, t.khi, c1};
             break;
     }
     return r;
@@ -44,16 +47,18 @@ Range3 plane(int dim, int c, const Transverse& t) {
 
 }  // namespace
 
-HaloPlan HaloPlan::make(Extents3 n) {
+HaloPlan HaloPlan::make(Extents3 n, int depth) {
+    assert(depth >= 1);
     HaloPlan p;
+    p.depth = depth;
     for (int d = 0; d < 3; ++d) {
-        const auto t = transverse_for(n, d);
+        const auto t = transverse_for(n, d, depth);
         auto& e = p.dims[static_cast<std::size_t>(d)];
         e.dim = d;
-        e.send_low = plane(d, 0, t);
-        e.send_high = plane(d, n[d] - 1, t);
-        e.recv_low = plane(d, -1, t);
-        e.recv_high = plane(d, n[d], t);
+        e.send_low = slab(d, 0, depth, t);
+        e.send_high = slab(d, n[d] - depth, n[d], t);
+        e.recv_low = slab(d, -depth, 0, t);
+        e.recv_high = slab(d, n[d], n[d] + depth, t);
     }
     return p;
 }
@@ -64,8 +69,9 @@ namespace {
 /// its k planes is one contiguous block of xy_stride() doubles.
 bool spans_padded_plane(const Field3& f, const Range3& region) {
     const auto n = f.extents();
-    return region.lo.i == -1 && region.hi.i == n.nx + 1 && region.lo.j == -1 &&
-           region.hi.j == n.ny + 1;
+    const int h = f.halo_width();
+    return region.lo.i == -h && region.hi.i == n.nx + h &&
+           region.lo.j == -h && region.hi.j == n.ny + h;
 }
 
 }  // namespace
@@ -79,8 +85,9 @@ void pack(const Field3& f, const Range3& region, std::span<double> out) {
     // the serialized exchange), a single memcpy per k plane.
     if (spans_padded_plane(f, region)) {
         const std::size_t plane = static_cast<std::size_t>(f.xy_stride());
+        const int h = f.halo_width();
         for (int k = region.lo.k; k < region.hi.k; ++k, dst += plane)
-            std::memcpy(dst, f.ptr(-1, -1, k), plane * sizeof(double));
+            std::memcpy(dst, f.ptr(-h, -h, k), plane * sizeof(double));
         return;
     }
     const std::size_t row = static_cast<std::size_t>(region.hi.i - region.lo.i);
@@ -109,8 +116,9 @@ void unpack(Field3& f, const Range3& region, std::span<const double> in) {
     const double* src = in.data();
     if (spans_padded_plane(f, region)) {
         const std::size_t plane = static_cast<std::size_t>(f.xy_stride());
+        const int h = f.halo_width();
         for (int k = region.lo.k; k < region.hi.k; ++k, src += plane)
-            std::memcpy(f.ptr(-1, -1, k), src, plane * sizeof(double));
+            std::memcpy(f.ptr(-h, -h, k), src, plane * sizeof(double));
         return;
     }
     const std::size_t row = static_cast<std::size_t>(region.hi.i - region.lo.i);
@@ -125,18 +133,19 @@ void unpack(Field3& f, const Range3& region, std::span<const double> in) {
             std::memcpy(f.ptr(region.lo.i, j, k), src, row * sizeof(double));
 }
 
-void fill_periodic_halo_dim(Field3& f, int dim) {
-    const auto plan = HaloPlan::make(f.extents());
+void fill_periodic_halo_dim(Field3& f, int dim, int depth) {
+    if (depth == 0) depth = f.halo_width();
+    const auto plan = HaloPlan::make(f.extents(), depth);
     const auto& e = plan.dims[static_cast<std::size_t>(dim)];
-    // Low halo <- high boundary plane; high halo <- low boundary plane.
+    // Low halo <- high boundary slab; high halo <- low boundary slab.
     auto buf = pack(f, e.send_high);
     unpack(f, e.recv_low, buf);
     pack(f, e.send_low, buf);
     unpack(f, e.recv_high, buf);
 }
 
-void fill_periodic_halo(Field3& f) {
-    for (int d = 0; d < 3; ++d) fill_periodic_halo_dim(f, d);
+void fill_periodic_halo(Field3& f, int depth) {
+    for (int d = 0; d < 3; ++d) fill_periodic_halo_dim(f, d, depth);
 }
 
 }  // namespace advect::core

@@ -20,15 +20,20 @@ StencilPlan StencilPlan::make(const StencilCoeffs& a, std::ptrdiff_t x_stride,
     StencilPlan p;
     // StencilCoeffs::index(di, dj, dk) flattens di fastest, dk slowest —
     // the same order as the reference summation — so the coefficient array
-    // is already in plan order.
-    p.coeff = a.a;
+    // is already in plan order. Zero coefficients are compacted away (terms
+    // keep their relative order; see the bitwise argument in stencil.hpp).
     std::size_t t = 0;
+    int kept = 0;
     for (int dk = -1; dk <= 1; ++dk)
         for (int dj = -1; dj <= 1; ++dj)
             for (int di = -1; di <= 1; ++di, ++t) {
                 assert(static_cast<int>(t) == StencilCoeffs::index(di, dj, dk));
-                p.offset[t] = di + dj * x_stride + dk * xy_stride;
+                if (a.a[t] == 0.0) continue;
+                p.coeff[kept] = a.a[t];
+                p.offset[kept] = di + dj * x_stride + dk * xy_stride;
+                ++kept;
             }
+    p.terms = kept;
     return p;
 }
 
@@ -41,17 +46,36 @@ namespace detail {
 // Portable baseline build of the shared kernel body; see
 // stencil_row_kernel.inc for the blocking scheme and the bitwise argument.
 #define ADVECT_ROW_KERNEL_NAME apply_stencil_row_portable
+#define ADVECT_PLANE_KERNEL_NAME apply_stencil_plane_portable
+#define ADVECT_CHAIN_KERNEL_NAME apply_stencil_chain_portable
 #include "core/stencil_row_kernel.inc"
+#undef ADVECT_CHAIN_KERNEL_NAME
+#undef ADVECT_PLANE_KERNEL_NAME
 #undef ADVECT_ROW_KERNEL_NAME
 
 #ifdef ADVECT_HAVE_ROW_KERNEL_V3
-// AVX2 build of the same body, from stencil_row_v3.cpp.
+// AVX2 builds of the same bodies, from stencil_row_v3.cpp.
 void apply_stencil_row_v3(const StencilPlan& plan, const double* __restrict__,
                           double* __restrict__, int n);
+void apply_stencil_plane_v3(const StencilPlan& plan,
+                            const double* __restrict__, double* __restrict__,
+                            int n, int rows, std::ptrdiff_t in_stride,
+                            std::ptrdiff_t out_stride);
+void apply_stencil_chain_v3(const StencilPlan& plan, int depth,
+                            const double* __restrict__, double* __restrict__,
+                            int n, int rows, std::ptrdiff_t in_stride,
+                            std::ptrdiff_t out_stride);
 #endif
 
 using RowKernelFn = void (*)(const StencilPlan&, const double* __restrict__,
                              double* __restrict__, int);
+using PlaneKernelFn = void (*)(const StencilPlan&, const double* __restrict__,
+                               double* __restrict__, int, int, std::ptrdiff_t,
+                               std::ptrdiff_t);
+using ChainKernelFn = void (*)(const StencilPlan&, int,
+                               const double* __restrict__,
+                               double* __restrict__, int, int, std::ptrdiff_t,
+                               std::ptrdiff_t);
 
 RowKernelFn resolve_row_kernel() {
 #ifdef ADVECT_HAVE_ROW_KERNEL_V3
@@ -60,8 +84,24 @@ RowKernelFn resolve_row_kernel() {
     return apply_stencil_row_portable;
 }
 
+PlaneKernelFn resolve_plane_kernel() {
+#ifdef ADVECT_HAVE_ROW_KERNEL_V3
+    if (__builtin_cpu_supports("avx2")) return apply_stencil_plane_v3;
+#endif
+    return apply_stencil_plane_portable;
+}
+
+ChainKernelFn resolve_chain_kernel() {
+#ifdef ADVECT_HAVE_ROW_KERNEL_V3
+    if (__builtin_cpu_supports("avx2")) return apply_stencil_chain_v3;
+#endif
+    return apply_stencil_chain_portable;
+}
+
 // Resolved once at load time; dispatch cost is one indirect call per row.
 const RowKernelFn row_kernel = resolve_row_kernel();
+const PlaneKernelFn plane_kernel = resolve_plane_kernel();
+const ChainKernelFn chain_kernel = resolve_chain_kernel();
 
 bool row_kernel_is_vectorized() {
     return row_kernel != static_cast<RowKernelFn>(apply_stencil_row_portable);
@@ -73,6 +113,23 @@ void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,
                            double* out, int n) {
     detail::row_kernel(plan, in, out, n);
 }
+
+void apply_stencil_plane_ptr(const StencilPlan& plan, const double* in,
+                             double* out, int n, int rows,
+                             std::ptrdiff_t in_stride,
+                             std::ptrdiff_t out_stride) {
+    detail::plane_kernel(plan, in, out, n, rows, in_stride, out_stride);
+}
+
+void apply_stencil_chain_ptr(const StencilPlan& plan, int depth,
+                             const double* in, double* out, int n, int rows,
+                             std::ptrdiff_t in_stride,
+                             std::ptrdiff_t out_stride) {
+    assert(plan.terms == 1);
+    assert(depth >= 1);
+    detail::chain_kernel(plan, depth, in, out, n, rows, in_stride, out_stride);
+}
+
 
 void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out,
                    const Range3& r) {
@@ -95,27 +152,31 @@ void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out) {
     apply_stencil(a, in, out, in.interior());
 }
 
-InteriorBoundary partition_interior_boundary(const Extents3& n) {
+InteriorBoundary partition_interior_boundary(const Extents3& n, int depth) {
+    assert(depth >= 1);
+    const int d = depth;
     InteriorBoundary p;
-    p.interior = {{1, 1, 1}, {n.nx - 1, n.ny - 1, n.nz - 1}};
+    p.interior = {{d, d, d}, {n.nx - d, n.ny - d, n.nz - d}};
     if (p.interior.empty()) p.interior = {{0, 0, 0}, {0, 0, 0}};
 
     auto push = [&p](Range3 r) {
         if (!r.empty()) p.boundary.push_back(r);
     };
-    // z-low and z-high full xy slabs (only one slab when nz == 1).
-    push({{0, 0, 0}, {n.nx, n.ny, 1}});
-    if (n.nz > 1) push({{0, 0, n.nz - 1}, {n.nx, n.ny, n.nz}});
-    if (n.nz > 2) {
-        const int zl = 1, zh = n.nz - 1;
+    // z-low and z-high full xy slabs (merged when nz <= d).
+    push({{0, 0, 0}, {n.nx, n.ny, std::min(d, n.nz)}});
+    if (n.nz > d) push({{0, 0, std::max(d, n.nz - d)}, {n.nx, n.ny, n.nz}});
+    if (n.nz > 2 * d) {
+        const int zl = d, zh = n.nz - d;
         // y-low / y-high strips excluding the z slabs.
-        push({{0, 0, zl}, {n.nx, 1, zh}});
-        if (n.ny > 1) push({{0, n.ny - 1, zl}, {n.nx, n.ny, zh}});
-        if (n.ny > 2) {
-            const int yl = 1, yh = n.ny - 1;
+        push({{0, 0, zl}, {n.nx, std::min(d, n.ny), zh}});
+        if (n.ny > d)
+            push({{0, std::max(d, n.ny - d), zl}, {n.nx, n.ny, zh}});
+        if (n.ny > 2 * d) {
+            const int yl = d, yh = n.ny - d;
             // x-low / x-high pencils excluding the z and y pieces.
-            push({{0, yl, zl}, {1, yh, zh}});
-            if (n.nx > 1) push({{n.nx - 1, yl, zl}, {n.nx, yh, zh}});
+            push({{0, yl, zl}, {std::min(d, n.nx), yh, zh}});
+            if (n.nx > d)
+                push({{std::max(d, n.nx - d), yl, zl}, {n.nx, yh, zh}});
         }
     }
     return p;

@@ -32,9 +32,20 @@ void apply_stencil(const StencilCoeffs& a, const Field3& in, Field3& out);
 /// (dk outer, dj middle, di inner — which is also the `StencilCoeffs::index`
 /// flattening). Build once per field shape; the raw-pointer row kernel then
 /// runs with no per-access index arithmetic.
+///
+/// `make` drops zero coefficients, keeping the surviving terms in reference
+/// order and setting `terms` to their count; the kernels sum only those.
+/// For finite field values this is *bitwise*-identical to the full sum: the
+/// running sum starts at +0.0 and can never become -0.0 (x + (-x) rounds to
+/// +0.0, and +0.0 + ±0.0 = +0.0), and adding the skipped ±0.0 products to
+/// +0.0 or to a nonzero changes no bit. Degenerate advection coefficients
+/// (Courant-1 tensor factors) zero out most of the 27 terms, so the sweep
+/// drops from compute-bound to its memory floor — the regime the temporal
+/// blocking of docs/PERF.md is built for.
 struct StencilPlan {
     std::array<double, 27> coeff{};
     std::array<std::ptrdiff_t, 27> offset{};
+    int terms = 27;  ///< leading entries with nonzero coefficients
 
     /// Plan for a layout with the given strides (in doubles): consecutive
     /// j rows `x_stride` apart, consecutive k planes `xy_stride` apart.
@@ -55,6 +66,31 @@ struct StencilPlan {
 void apply_stencil_row_ptr(const StencilPlan& plan, const double* in,
                            double* out, int n);
 
+/// The same row kernel over `rows` consecutive rows whose sources advance by
+/// `in_stride` and destinations by `out_stride` doubles per row: one
+/// dispatch per tile plane instead of one indirect call per row, with the
+/// plan loads hoisted out of the row loop. Row r is bitwise-identical to
+/// apply_stencil_row_ptr(plan, in + r*in_stride, out + r*out_stride, n);
+/// used by the fused tile engine, whose ring slabs make the strides uniform.
+void apply_stencil_plane_ptr(const StencilPlan& plan, const double* in,
+                             double* out, int n, int rows,
+                             std::ptrdiff_t in_stride,
+                             std::ptrdiff_t out_stride);
+
+/// Fused register chain for single-term plans (`plan.terms == 1`, e.g. the
+/// Courant-1 tensor coefficients): `depth` successive applications of a
+/// one-term stencil form a pure per-point dependency chain, so the whole
+/// temporal-blocking pyramid collapses to a line held in registers. Point x
+/// of row r computes exactly the level sequence
+///     s_1 = 0.0 + c * in[r*in_stride + x + depth*offset[0]],
+///     s_t = 0.0 + c * s_{t-1},   out[r*out_stride + x] = s_depth,
+/// bitwise-identical to `depth` separate sweeps, with no intermediate
+/// traffic at all. `in` needs `depth` ghost layers around the output region.
+void apply_stencil_chain_ptr(const StencilPlan& plan, int depth,
+                             const double* in, double* out, int n, int rows,
+                             std::ptrdiff_t in_stride,
+                             std::ptrdiff_t out_stride);
+
 namespace detail {
 
 /// Portable baseline build of the row kernel — always available, and the
@@ -73,18 +109,21 @@ void apply_stencil_row_portable(const StencilPlan& plan,
 
 /// Partition of a local domain into boundary shell and interior used by the
 /// overlap implementations (paper §IV-C, §IV-D): boundary points are those
-/// that touch halo points; interior points are the rest.
+/// within `depth` of a halo point; interior points are the rest. Depth is 1
+/// for single-step plans and the fuse factor F for temporal-blocking plans
+/// (a point s steps of fused work away from the halo needs s ghost layers).
 struct InteriorBoundary {
-    /// The deep-interior box [1, n-1)^3 (empty if any extent < 3).
+    /// The deep-interior box [d, n-d)^3 (empty if any extent < 2d+1).
     Range3 interior;
-    /// Up to 6 disjoint slabs covering the one-point-thick boundary shell.
+    /// Up to 6 disjoint slabs covering the depth-d boundary shell.
     /// Listed z-low, z-high, y-low, y-high, x-low, x-high; empty slabs are
     /// omitted.
     std::vector<Range3> boundary;
 };
 
-/// Compute the interior/boundary partition of extents `n`.
-[[nodiscard]] InteriorBoundary partition_interior_boundary(const Extents3& n);
+/// Compute the interior/boundary partition of extents `n` at `depth`.
+[[nodiscard]] InteriorBoundary partition_interior_boundary(const Extents3& n,
+                                                           int depth = 1);
 
 /// Split `r` into `parts` roughly equal slabs along the z dimension
 /// (paper §IV-C splits the interior into thirds along z). Slabs may be empty

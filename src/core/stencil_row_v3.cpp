@@ -10,7 +10,11 @@
 namespace advect::core::detail {
 
 #define ADVECT_ROW_KERNEL_NAME apply_stencil_row_v3
+#define ADVECT_PLANE_KERNEL_NAME apply_stencil_plane_v3
+#define ADVECT_CHAIN_KERNEL_NAME apply_stencil_chain_v3
 #include "core/stencil_row_kernel.inc"
+#undef ADVECT_CHAIN_KERNEL_NAME
+#undef ADVECT_PLANE_KERNEL_NAME
 #undef ADVECT_ROW_KERNEL_NAME
 
 }  // namespace advect::core::detail

@@ -33,6 +33,13 @@ struct SolverConfig {
 
     /// CPU box-wall thickness (H, I), the Fig. 1 load-balance parameter.
     int box_thickness = 1;
+
+    /// Temporal-blocking fuse factor (all implementations): advance `fuse`
+    /// time steps per fused super-step from halos `fuse` deep, exchanged
+    /// once (docs/PERF.md "Temporal blocking"). steps % fuse remainder steps
+    /// run through an unfused plan. 1 disables fusing. Results are
+    /// bitwise-identical for every legal value.
+    int fuse = 1;
 };
 
 /// Outcome of a solve: the assembled global state, wall time of the stepping

@@ -15,7 +15,7 @@ double now_seconds() {
 }
 
 void halo_fill_parallel(omp::ThreadTeam& team, core::Field3& f) {
-    const auto plan = core::HaloPlan::make(f.extents());
+    const auto plan = core::HaloPlan::make(f.extents(), f.halo_width());
     for (int d = 0; d < 3; ++d) {
         const auto& e = plan.dims[static_cast<std::size_t>(d)];
         // halo <- opposite boundary plane; both copies of a dimension are
@@ -37,10 +37,10 @@ void halo_fill_parallel(omp::ThreadTeam& team, core::Field3& f) {
                 const int j = dst_region.lo.j + static_cast<int>(r % ext.ny);
                 const int k = dst_region.lo.k + static_cast<int>(r / ext.ny);
                 if (d == 0) {
-                    // x faces are one point per row, shifted along the
+                    // x faces are depth points per row, shifted along the
                     // contiguous dimension.
-                    f(dst_region.lo.i, j, k) =
-                        f(dst_region.lo.i + shift, j, k);
+                    for (int i = dst_region.lo.i; i < dst_region.hi.i; ++i)
+                        f(i, j, k) = f(i + shift, j, k);
                 } else {
                     // y/z faces shift in j or k only, so source and
                     // destination rows are both x-contiguous: one memcpy.

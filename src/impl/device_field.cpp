@@ -89,9 +89,131 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
     });
 }
 
-void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim) {
+void launch_stencil_fused(gpu::Stream& stream, gpu::Device& device,
+                          const DeviceField& in, DeviceField& out,
+                          const core::Range3& region, int bx, int by,
+                          int fuse) {
+    assert(in.extents() == out.extents());
+    if (fuse <= 1) {
+        launch_stencil(stream, device, in, out, region, bx, by);
+        return;
+    }
+    if (region.empty()) return;
+    assert(in.halo_width() >= fuse && out.halo_width() >= fuse);
+    const auto n = in.extents();
+    const auto e = region.extents();
+    const gpu::Dim3 grid{(e.nx + bx - 1) / bx, (e.ny + by - 1) / by, 1};
+    // Widest fringe: level 0 stages rows 2*fuse wider than the write set.
+    const gpu::Dim3 block{bx + 2 * fuse, by + 2 * fuse, 1};
+    // Rotating staging planes per level: level s (s steps ahead of the
+    // input) keeps three xy planes of extent (bx + 2*(fuse-s)) x
+    // (by + 2*(fuse-s)); level `fuse` rows go straight to global memory.
+    std::vector<std::size_t> plane_off(static_cast<std::size_t>(fuse));
+    std::size_t shared_doubles = 0;
+    for (int s = 0; s < fuse; ++s) {
+        plane_off[static_cast<std::size_t>(s)] = shared_doubles;
+        shared_doubles += 3 *
+                          static_cast<std::size_t>(bx + 2 * (fuse - s)) *
+                          static_cast<std::size_t>(by + 2 * (fuse - s));
+    }
+
+    auto consts = device.constants();
+    auto src = in.buffer().span();
+    auto dst = out.buffer().span();
+    const DeviceField in_layout = in;
+    const DeviceField out_hold = out;
+    const int hw = in.halo_width();
+
+    stream.launch(grid, block, shared_doubles, [=, lo = region.lo,
+                                                hi = region.hi](
+                                                   gpu::Dim3 bidx, gpu::Dim3,
+                                                   std::span<double> shared) {
+        (void)out_hold;
+        const int x0 = lo.i + bidx.x * bx;
+        const int y0 = lo.j + bidx.y * by;
+        const int cx = std::min(bx, hi.i - x0);
+        const int cy = std::min(by, hi.j - y0);
+
+        // Shared-memory base of level s's staging plane holding global z
+        // plane `z` (rotation by modular slot: each level reuses its three
+        // planes as the z wavefront advances).
+        auto level_base = [&](int s, int z) {
+            const std::size_t px = static_cast<std::size_t>(bx +
+                                                            2 * (fuse - s));
+            const std::size_t py = static_cast<std::size_t>(by +
+                                                            2 * (fuse - s));
+            return shared.data() + plane_off[static_cast<std::size_t>(s)] +
+                   static_cast<std::size_t>(((z % 3) + 3) % 3) * px * py;
+        };
+
+        // Stage input plane z: rows [y0-fuse, y0+cy+fuse) x
+        // [x0-fuse, x0+cx+fuse), guarded against the padded bounds.
+        auto load_plane0 = [&](int z) {
+            double* t0 = level_base(0, z);
+            const int px0 = bx + 2 * fuse;
+            for (int ly = 0; ly < cy + 2 * fuse; ++ly) {
+                const int gy = y0 - fuse + ly;
+                if (gy < -hw || gy >= n.ny + hw) continue;
+                for (int lx = 0; lx < cx + 2 * fuse; ++lx) {
+                    const int gx = x0 - fuse + lx;
+                    if (gx < -hw || gx >= n.nx + hw) continue;
+                    t0[static_cast<std::size_t>(ly) * px0 + lx] =
+                        src[in_layout.offset(gx, gy, z)];
+                }
+            }
+        };
+
+        // Advance plane t of level s from level s-1's planes t-1, t, t+1.
+        // Every transition is the same row kernel as the CPU paths; the dk
+        // offsets are the pointer distances between the rotated slots.
+        auto compute_level = [&](int s, int t) {
+            const int gsrc = fuse - (s - 1);
+            const int gdst = fuse - s;
+            const int pxs = bx + 2 * gsrc;
+            const int pxd = bx + 2 * gdst;
+            const int wx = cx + 2 * gdst;
+            const int wy = cy + 2 * gdst;
+            const double* center = level_base(s - 1, t);
+            core::StencilPlan plan;
+            std::copy_n(consts.begin(), 27, plan.coeff.begin());
+            std::size_t ti = 0;
+            for (int dk = -1; dk <= 1; ++dk) {
+                const std::ptrdiff_t dplane =
+                    level_base(s - 1, t + dk) - center;
+                for (int dj = -1; dj <= 1; ++dj)
+                    for (int di = -1; di <= 1; ++di, ++ti)
+                        plan.offset[ti] = dplane + dj * pxs + di;
+            }
+            for (int ly = 0; ly < wy; ++ly) {
+                const double* src_row =
+                    center + static_cast<std::size_t>(ly + 1) * pxs + 1;
+                double* dst_row =
+                    s == fuse
+                        ? dst.data() + in_layout.offset(x0, y0 + ly, t)
+                        : level_base(s, t) +
+                              static_cast<std::size_t>(ly) * pxd;
+                core::apply_stencil_row_ptr(plan, src_row, dst_row, wx);
+            }
+        };
+
+        // z wavefront: as input plane z is staged, each level s can advance
+        // its plane z - s (its three source planes are the level s-1 slots
+        // still resident), and level `fuse` streams finished planes out.
+        for (int z = lo.k - fuse; z < hi.k + fuse; ++z) {
+            load_plane0(z);
+            for (int s = 1; s <= fuse; ++s) {
+                const int t = z - s;
+                const int gdst = fuse - s;
+                if (t >= lo.k - gdst && t < hi.k + gdst) compute_level(s, t);
+            }
+        }
+    });
+}
+
+void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim,
+                          int depth) {
     const auto n = f.extents();
-    const auto plan = core::HaloPlan::make(n);
+    const auto plan = core::HaloPlan::make(n, depth);
     const auto& e = plan.dims[static_cast<std::size_t>(dim)];
     auto data = f.buffer().span();
     const DeviceField layout = f;

@@ -13,37 +13,42 @@
 
 namespace advect::impl {
 
-/// A device buffer with Field3's padded layout (extents n, halo width 1,
-/// x fastest).
+/// A device buffer with Field3's padded layout (extents n, halo width
+/// `halo`, x fastest). Temporal blocking allocates halo = fuse so one
+/// fuse-deep upload feeds a whole fused super-step.
 class DeviceField {
   public:
     DeviceField() = default;
-    DeviceField(gpu::Device& device, core::Extents3 n)
+    DeviceField(gpu::Device& device, core::Extents3 n, int halo = 1)
         : n_(n),
-          buf_(device.alloc(static_cast<std::size_t>(n.nx + 2) *
-                            static_cast<std::size_t>(n.ny + 2) *
-                            static_cast<std::size_t>(n.nz + 2))) {}
+          h_(halo),
+          buf_(device.alloc(static_cast<std::size_t>(n.nx + 2 * halo) *
+                            static_cast<std::size_t>(n.ny + 2 * halo) *
+                            static_cast<std::size_t>(n.nz + 2 * halo))) {}
 
     [[nodiscard]] core::Extents3 extents() const { return n_; }
+    [[nodiscard]] int halo_width() const { return h_; }
     [[nodiscard]] gpu::DeviceBuffer& buffer() { return buf_; }
     [[nodiscard]] const gpu::DeviceBuffer& buffer() const { return buf_; }
 
     /// Linear offset of (i, j, k), identical to Field3::offset.
     [[nodiscard]] std::size_t offset(int i, int j, int k) const {
-        return static_cast<std::size_t>(i + 1) +
-               static_cast<std::size_t>(n_.nx + 2) *
-                   (static_cast<std::size_t>(j + 1) +
-                    static_cast<std::size_t>(n_.ny + 2) *
-                        static_cast<std::size_t>(k + 1));
+        return static_cast<std::size_t>(i + h_) +
+               static_cast<std::size_t>(n_.nx + 2 * h_) *
+                   (static_cast<std::size_t>(j + h_) +
+                    static_cast<std::size_t>(n_.ny + 2 * h_) *
+                        static_cast<std::size_t>(k + h_));
     }
 
     void swap(DeviceField& other) noexcept {
         std::swap(n_, other.n_);
+        std::swap(h_, other.h_);
         std::swap(buf_, other.buf_);
     }
 
   private:
     core::Extents3 n_{};
+    int h_ = 1;
     gpu::DeviceBuffer buf_;
 };
 
@@ -61,11 +66,27 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
                     const DeviceField& in, DeviceField& out,
                     const core::Range3& region, int bx, int by);
 
+/// Launch the temporally-blocked stencil kernel: advance `region` by `fuse`
+/// steps in one launch. Each thread block pipelines a z wavefront through
+/// `fuse` levels of rotating shared-memory xy planes — level 0 stages the
+/// input (like launch_stencil's three planes, but 2*fuse wider), level s
+/// holds the state s steps ahead on a tile shrunk by s ghost layers, and
+/// level `fuse` rows are written straight to `out` over `region`. The halos
+/// of `in` covering region+fuse must be valid (halo_width() >= the
+/// overhang). Every level runs the same apply_stencil_row_ptr row kernel as
+/// the CPU paths, so the result is bitwise-identical to `fuse` successive
+/// launch_stencil calls.
+void launch_stencil_fused(gpu::Stream& stream, gpu::Device& device,
+                          const DeviceField& in, DeviceField& out,
+                          const core::Range3& region, int bx, int by,
+                          int fuse);
+
 /// Launch a periodic halo fill for one dimension of a device field whose
-/// extents equal the global domain (GPU-resident case): halo planes copy
-/// from the opposite boundary, with staged transverse ranges so corners
-/// propagate across the three dimension passes.
-void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim);
+/// extents equal the global domain (GPU-resident case): depth-thick halo
+/// slabs copy from the opposite boundary, with staged transverse ranges so
+/// corners propagate across the three dimension passes.
+void launch_periodic_halo(gpu::Stream& stream, DeviceField& f, int dim,
+                          int depth = 1);
 
 /// Pack `region` of the field into `staging` at `offset` (x fastest),
 /// exactly core::pack's order so host- and device-side staging interoperate.

@@ -64,8 +64,8 @@ void unpack_parallel(core::Field3& f, const core::Range3& region,
                       });
 }
 
-HaloExchange::HaloExchange(const core::Decomp3& decomp, int rank)
-    : plan_(core::HaloPlan::make(decomp.local_extents(rank))) {
+HaloExchange::HaloExchange(const core::Decomp3& decomp, int rank, int depth)
+    : plan_(core::HaloPlan::make(decomp.local_extents(rank), depth)) {
     for (int d = 0; d < 3; ++d) {
         const auto du = static_cast<std::size_t>(d);
         nbr_[du][0] = decomp.neighbor(rank, d, -1);

@@ -29,10 +29,12 @@ void pack_parallel(const core::Field3& f, const core::Range3& region,
 void unpack_parallel(core::Field3& f, const core::Range3& region,
                      std::span<const double> in, advect::omp::ThreadTeam* team);
 
-/// Per-rank halo exchange state with persistent buffers.
+/// Per-rank halo exchange state with persistent buffers. `depth` is the
+/// ghost width exchanged (1 single-step; the fuse factor F for temporal
+/// blocking, where one F-deep exchange feeds F fused steps).
 class HaloExchange {
   public:
-    HaloExchange(const core::Decomp3& decomp, int rank);
+    HaloExchange(const core::Decomp3& decomp, int rank, int depth = 1);
 
     /// Post all six nonblocking receives ("the master thread first issues
     /// nonblocking receive calls for 6 neighbors").

@@ -74,8 +74,8 @@ void GpuStaging::unpack_outbound(core::Field3& host) const {
                          out_offsets_[r], outbound_[r].volume()));
 }
 
-std::vector<core::Range3> mpi_halo_regions(core::Extents3 n) {
-    const auto plan = core::HaloPlan::make(n);
+std::vector<core::Range3> mpi_halo_regions(core::Extents3 n, int depth) {
+    const auto plan = core::HaloPlan::make(n, depth);
     std::vector<core::Range3> out;
     for (const auto& d : plan.dims) {
         out.push_back(d.recv_low);
@@ -84,8 +84,9 @@ std::vector<core::Range3> mpi_halo_regions(core::Extents3 n) {
     return out;
 }
 
-std::vector<core::Range3> boundary_shell_regions(core::Extents3 n) {
-    return core::partition_interior_boundary(n).boundary;
+std::vector<core::Range3> boundary_shell_regions(core::Extents3 n,
+                                                 int depth) {
+    return core::partition_interior_boundary(n, depth).boundary;
 }
 
 DevicePool::DevicePool(const gpu::DeviceProps& props, int ntasks,

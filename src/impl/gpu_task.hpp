@@ -76,12 +76,15 @@ class GpuStaging {
 };
 
 /// The six MPI halo regions of a local domain (HaloPlan receive regions,
-/// corner-extended per stage): the inbound set for §IV-F/G.
-[[nodiscard]] std::vector<core::Range3> mpi_halo_regions(core::Extents3 n);
-
-/// The six one-point boundary slabs of a local domain: the outbound set for
+/// corner-extended per stage) at ghost depth `depth`: the inbound set for
 /// §IV-F/G.
-[[nodiscard]] std::vector<core::Range3> boundary_shell_regions(core::Extents3 n);
+[[nodiscard]] std::vector<core::Range3> mpi_halo_regions(core::Extents3 n,
+                                                         int depth = 1);
+
+/// The six depth-thick boundary slabs of a local domain: the outbound set
+/// for §IV-F/G.
+[[nodiscard]] std::vector<core::Range3> boundary_shell_regions(
+    core::Extents3 n, int depth = 1);
 
 /// A pool of simulated GPUs shared by MPI tasks on the same "node":
 /// rank r uses device r / tasks_per_gpu (§IV-F: "we can have more than one

@@ -1,6 +1,7 @@
 #include "impl/harness.hpp"
 
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,14 +20,41 @@ namespace omp = advect::omp;
 
 namespace {
 
+/// Split `steps` into fused super-steps plus unfused remainder steps. The
+/// remainder runs through a second, fuse-1 plan of the same implementation
+/// over the same runtime state (fields keep their deep halos; the exchange
+/// and staging simply move more than the single-step minimum, which is
+/// harmless: a deeper halo of exact time-t data is a superset of the
+/// 1-deep halo).
+struct FusedSchedule {
+    int supers = 0;     ///< fused super-steps (each advances plan.fuse)
+    int remainder = 0;  ///< trailing unfused steps
+};
+
+FusedSchedule fused_schedule(const plan::StepPlan& plan, int steps) {
+    const int fuse = plan.fuse < 1 ? 1 : plan.fuse;
+    return {steps / fuse, fuse > 1 ? steps % fuse : 0};
+}
+
+/// The fuse-1 plan for the remainder steps (nullopt when none are needed).
+std::optional<plan::StepPlan> remainder_plan(const plan::StepPlan& plan,
+                                             const SolverConfig& cfg,
+                                             const FusedSchedule& sched,
+                                             core::Extents3 local) {
+    if (sched.remainder == 0) return std::nullopt;
+    return plan::build_step_plan(plan.impl_id,
+                                 {local, cfg.box_thickness, /*fuse=*/1});
+}
+
 /// §IV-A: single task, host state only.
 SolveResult run_single_host(const plan::StepPlan& plan,
                             const SolverConfig& cfg) {
     const auto& p = cfg.problem;
     const auto coeffs = p.coeffs();
+    const auto n = p.domain.extents();
 
-    core::Field3 cur(p.domain.extents());
-    core::Field3 nxt(p.domain.extents());
+    core::Field3 cur(n, plan.fuse);
+    core::Field3 nxt(n, plan.fuse);
     core::fill_initial(cur, p.domain, p.wave);
 
     omp::ThreadTeam team(cfg.threads_per_task);
@@ -39,8 +67,14 @@ SolveResult run_single_host(const plan::StepPlan& plan,
     ctx.team = &team;
     PlanExecutor exec(plan, ctx);
 
+    const FusedSchedule sched = fused_schedule(plan, cfg.steps);
+    const auto rem_plan = remainder_plan(plan, cfg, sched, n);
+    std::optional<PlanExecutor> rem_exec;
+    if (rem_plan) rem_exec.emplace(*rem_plan, ctx);
+
     const double t0 = now_seconds();
-    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    for (int s = 0; s < sched.supers; ++s) exec.run_step();
+    for (int s = 0; s < sched.remainder; ++s) rem_exec->run_step();
     const double t1 = now_seconds();
 
     return finish_result(cfg, std::move(cur), t1 - t0);
@@ -59,11 +93,11 @@ SolveResult run_single_resident(const plan::StepPlan& plan,
     for (int k = 0; k < plan.streams; ++k)
         streams.push_back(device.create_stream());
 
-    core::Field3 host(n);
+    core::Field3 host(n, plan.fuse);
     core::fill_initial(host, p.domain, p.wave);
 
-    DeviceField d_cur(device, n);
-    DeviceField d_nxt(device, n);
+    DeviceField d_cur(device, n, plan.fuse);
+    DeviceField d_nxt(device, n, plan.fuse);
     streams[0].memcpy_h2d(d_cur.buffer(), 0, host.raw());
 
     ExecContext ctx;
@@ -74,10 +108,16 @@ SolveResult run_single_resident(const plan::StepPlan& plan,
     ctx.d_nxt = &d_nxt;
     PlanExecutor exec(plan, ctx);
 
+    const FusedSchedule sched = fused_schedule(plan, cfg.steps);
+    const auto rem_plan = remainder_plan(plan, cfg, sched, n);
+    std::optional<PlanExecutor> rem_exec;
+    if (rem_plan) rem_exec.emplace(*rem_plan, ctx);
+
     // "The CPU and GPU synchronize immediately before timer calls."
     streams[0].synchronize();
     const double t0 = now_seconds();
-    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    for (int s = 0; s < sched.supers; ++s) exec.run_step();
+    for (int s = 0; s < sched.remainder; ++s) rem_exec->run_step();
     streams[0].synchronize();
     const double t1 = now_seconds();
 
@@ -98,14 +138,16 @@ RankOutcome run_plan_rank(const plan::StepPlan& plan, const SolverConfig& cfg,
     const auto coeffs = p.coeffs();
 
     // §IV-F/G maintain only a host shell mirror (`cur`), no second host
-    // field; the CPU implementations keep the full cur/nxt pair.
-    core::Field3 cur(n);
+    // field; the CPU implementations keep the full cur/nxt pair. Halos (and
+    // the exchange below) are `plan.fuse` deep so one exchange feeds a whole
+    // fused super-step.
+    core::Field3 cur(n, plan.fuse);
     core::fill_initial(cur, p.domain, p.wave, origin);
     std::optional<core::Field3> nxt;
-    if (!plan.mirror_only) nxt.emplace(n);
+    if (!plan.mirror_only) nxt.emplace(n, plan.fuse);
 
     omp::ThreadTeam team(cfg.threads_per_task);
-    HaloExchange exchange(decomp, rank);
+    HaloExchange exchange(decomp, rank, plan.fuse);
 
     ExecContext ctx;
     ctx.cfg = &cfg;
@@ -124,15 +166,15 @@ RankOutcome run_plan_rank(const plan::StepPlan& plan, const SolverConfig& cfg,
     if (plan.uses_gpu) {
         for (int k = 0; k < plan.streams; ++k)
             streams.push_back(device->create_stream());
-        d_cur.emplace(*device, n);
-        d_nxt.emplace(*device, n);
+        d_cur.emplace(*device, n, plan.fuse);
+        d_nxt.emplace(*device, n, plan.fuse);
         if (plan.staging == plan::StagingKind::BoxShell) {
-            box.emplace(n, cfg.box_thickness);
+            box.emplace(n, cfg.box_thickness, plan.fuse);
             staging.emplace(*device, box->gpu_halo_shell(),
                             box->block_boundary_shell());
         } else {
-            staging.emplace(*device, mpi_halo_regions(n),
-                            boundary_shell_regions(n));
+            staging.emplace(*device, mpi_halo_regions(n, plan.fuse),
+                            boundary_shell_regions(n, plan.fuse));
         }
         streams[0].memcpy_h2d(d_cur->buffer(), 0, cur.raw());
         streams[0].synchronize();
@@ -146,9 +188,15 @@ RankOutcome run_plan_rank(const plan::StepPlan& plan, const SolverConfig& cfg,
 
     PlanExecutor exec(plan, ctx);
 
+    const FusedSchedule sched = fused_schedule(plan, cfg.steps);
+    const auto rem_plan = remainder_plan(plan, cfg, sched, n);
+    std::optional<PlanExecutor> rem_exec;
+    if (rem_plan) rem_exec.emplace(*rem_plan, ctx);
+
     comm.barrier();  // "a barrier immediately before measuring the start"
     const double t0 = now_seconds();
-    for (int s = 0; s < cfg.steps; ++s) exec.run_step();
+    for (int s = 0; s < sched.supers; ++s) exec.run_step();
+    for (int s = 0; s < sched.remainder; ++s) rem_exec->run_step();
     comm.barrier();
     const double t1 = now_seconds();
     // Every rank computes the same reduced wall time.
@@ -163,7 +211,7 @@ RankOutcome run_plan_rank(const plan::StepPlan& plan, const SolverConfig& cfg,
             break;
         case plan::Finalize::BlockMerge: {
             // Assemble: walls from the host state, block from the device.
-            core::Field3 block_out(n);
+            core::Field3 block_out(n, plan.fuse);
             streams[0].memcpy_d2h(block_out.raw(), d_cur->buffer(), 0);
             streams[0].synchronize();
             cur.copy_region_from(block_out, box->gpu_block());
@@ -180,7 +228,7 @@ SolveResult run_plan_solver(const std::string& impl_id,
     // The single-task implementations (§IV-A/E) ignore the decomposition:
     // probe the plan on the full domain and run it directly.
     const plan::StepPlan probe = plan::build_step_plan(
-        impl_id, {p.domain.extents(), cfg.box_thickness});
+        impl_id, {p.domain.extents(), cfg.box_thickness, cfg.fuse});
     if (!probe.uses_comm)
         return probe.resident ? run_single_resident(probe, cfg)
                               : run_single_host(probe, cfg);
@@ -189,13 +237,21 @@ SolveResult run_plan_solver(const std::string& impl_id,
                                                  cfg.ntasks);
     // Build every rank's plan up front, on the calling thread: a geometry
     // the builder rejects (e.g. a box_thickness leaving rank r with an empty
-    // GPU block) must throw here, not on a rank thread while the other ranks
-    // sit in a barrier.
+    // GPU block, or a fuse factor whose deepened halo exceeds a rank's local
+    // box) must throw here, not on a rank thread while the other ranks sit
+    // in a barrier.
     std::vector<plan::StepPlan> plans;
     plans.reserve(static_cast<std::size_t>(decomp.nranks()));
-    for (int r = 0; r < decomp.nranks(); ++r)
-        plans.push_back(plan::build_step_plan(
-            impl_id, {decomp.local_extents(r), cfg.box_thickness}));
+    for (int r = 0; r < decomp.nranks(); ++r) {
+        try {
+            plans.push_back(plan::build_step_plan(
+                impl_id,
+                {decomp.local_extents(r), cfg.box_thickness, cfg.fuse}));
+        } catch (const plan::FuseGeometryError& e) {
+            throw plan::FuseGeometryError("rank " + std::to_string(r) + ": " +
+                                          e.what());
+        }
+    }
 
     const auto coeffs = p.coeffs();
     std::optional<DevicePool> pool;

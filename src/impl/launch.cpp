@@ -185,7 +185,7 @@ std::vector<std::uint8_t> socket_worker(const Implementation& entry,
     } else {
         const plan::StepPlan plan = plan::build_step_plan(
             entry.id,
-            {decomp->local_extents(comm.rank()), cfg.box_thickness});
+            {decomp->local_extents(comm.rank()), cfg.box_thickness, cfg.fuse});
         std::optional<DevicePool> pool;
         gpu::Device* device = nullptr;
         if (plan.uses_gpu) {
@@ -220,7 +220,7 @@ LaunchReport launch_socket(const Implementation& entry,
     const auto& p = cfg.problem;
     std::optional<core::Decomp3> decomp;
     const plan::StepPlan probe = plan::build_step_plan(
-        entry.id, {p.domain.extents(), cfg.box_thickness});
+        entry.id, {p.domain.extents(), cfg.box_thickness, cfg.fuse});
     int nranks = 1;
     if (probe.uses_comm) {
         decomp = core::make_decomposition(p.domain.extents(), cfg.ntasks);
@@ -229,7 +229,7 @@ LaunchReport launch_socket(const Implementation& entry,
         // config throws std::invalid_argument instead of a worker error.
         for (int r = 0; r < nranks; ++r)
             (void)plan::build_step_plan(
-                entry.id, {decomp->local_extents(r), cfg.box_thickness});
+                entry.id, {decomp->local_extents(r), cfg.box_thickness, cfg.fuse});
     }
 
     // Pin this process's recorder epoch before forking: worker spans arrive

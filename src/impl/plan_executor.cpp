@@ -1,6 +1,8 @@
 #include "impl/plan_executor.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <span>
 
 #include "chaos/inject.hpp"
 #include "impl/cpu_kernels.hpp"
@@ -25,6 +27,7 @@ omp::Schedule to_omp(plan::Sched s) {
 PlanExecutor::PlanExecutor(const plan::StepPlan& plan, ExecContext ctx)
     : plan_(&plan), ctx_(ctx) {
     rows_.resize(plan.tasks.size());
+    fused_.resize(plan.tasks.size());
     for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
         const auto& t = plan.tasks[i];
         if (t.op != plan::Op::Stencil && t.op != plan::Op::Copy) continue;
@@ -34,14 +37,34 @@ PlanExecutor::PlanExecutor(const plan::StepPlan& plan, ExecContext ctx)
         // All-empty region lists (e.g. a degenerate interior third in
         // §IV-C) leave a zero-row space the dispatcher skips, exactly as the
         // hand-written drivers skipped absent slabs.
-        if (!regs.empty()) rows_[i] = core::RowSpace(std::move(regs));
+        if (!regs.empty()) {
+            if (t.op == plan::Op::Stencil && t.payload.fuse > 1) {
+                // Temporal blocking: decompose into cache-sized tiles each
+                // advanced `fuse` steps; the tiles are the parallel unit.
+                fused_[i] = core::FusedSweepPlan(regs, t.payload.fuse);
+                scratch_stride_ =
+                    std::max(scratch_stride_, fused_[i].scratch_doubles());
+            } else {
+                rows_[i] = core::RowSpace(std::move(regs));
+            }
+        }
         if (plan.mode == plan::Mode::TeamStages) stages_.push_back(i);
+    }
+    if (scratch_stride_ > 0) {
+        const int workers = ctx_.team != nullptr ? ctx_.team->size() : 1;
+        scratch_.resize(scratch_stride_ * static_cast<std::size_t>(workers));
     }
     if (plan.mode == plan::Mode::TeamStages) {
         for (std::size_t i = 0; i < plan.tasks.size(); ++i)
             if (plan.tasks[i].op == plan::Op::MasterExchange)
                 master_task_ = static_cast<int>(i);
     }
+}
+
+std::span<double> PlanExecutor::scratch(int thread_id) {
+    return std::span<double>(scratch_).subspan(
+        scratch_stride_ * static_cast<std::size_t>(thread_id),
+        scratch_stride_);
 }
 
 void PlanExecutor::run_step() {
@@ -65,9 +88,9 @@ void PlanExecutor::run_host_issue() {
             // apply any TaskDelay, and absorb injected launch failures.
             chaos::ScopedTaskSite site(t.name.c_str(), step_);
             chaos::on_task_issue(trace::current_rank());
-            run_task_retrying(t, rows_[i]);
+            run_task_retrying(t, i);
         } else {
-            run_task(t, rows_[i]);
+            run_task(t, i);
         }
         if (tracing) {
             const bool on_device = t.lane == trace::Lane::Gpu ||
@@ -86,10 +109,16 @@ void PlanExecutor::run_team_stages() {
     const bool tracing = trace::enabled();
     std::vector<std::unique_ptr<omp::LoopScheduler>> scheds;
     scheds.reserve(stages_.size());
-    for (const std::size_t si : stages_)
+    for (const std::size_t si : stages_) {
+        // Fused stencil stages drain tiles; the rest drain rows.
+        const std::int64_t count =
+            fused_[si].size() > 0
+                ? static_cast<std::int64_t>(fused_[si].size())
+                : rows_[si].size();
         scheds.push_back(std::make_unique<omp::LoopScheduler>(
-            0, rows_[si].size(), to_omp(plan_->tasks[si].payload.schedule),
+            0, count, to_omp(plan_->tasks[si].payload.schedule),
             ctx_.team->size()));
+    }
 
     const std::size_t nstages = stages_.size();
     std::vector<double> stage_end(nstages, 0.0);
@@ -117,7 +146,19 @@ void PlanExecutor::run_team_stages() {
         for (std::size_t s = 0; s < nstages; ++s) {
             const plan::Task& t = plan_->tasks[stages_[s]];
             const core::RowSpace& rows = rows_[stages_[s]];
-            if (t.op == plan::Op::Stencil) {
+            const core::FusedSweepPlan& fp = fused_[stages_[s]];
+            if (fp.size() > 0) {
+                omp::drain(*scheds[s], id,
+                           [&](std::int64_t lo, std::int64_t hi) {
+                               for (std::int64_t ti = lo; ti < hi; ++ti)
+                                   core::apply_fused_tile(
+                                       *ctx_.coeffs, *ctx_.cur, *ctx_.nxt,
+                                       fp.tiles()[static_cast<std::size_t>(
+                                                      ti)]
+                                           .out,
+                                       fp.fuse(), scratch(id));
+                           });
+            } else if (t.op == plan::Op::Stencil) {
                 omp::drain(*scheds[s], id,
                            [&](std::int64_t lo, std::int64_t hi) {
                                core::apply_stencil_rows(*ctx_.coeffs,
@@ -164,7 +205,7 @@ gpu::Stream& PlanExecutor::stream(int index) {
 }
 
 void PlanExecutor::run_task_retrying(const plan::Task& task,
-                                     const core::RowSpace& rows) {
+                                     std::size_t index) {
     // GpuFail verdicts surface as TransientError from the launch; the task
     // site stays in scope, so each retry advances the occurrence counter and
     // draws afresh — a p<1 flake terminates with certainty, and the bound
@@ -172,7 +213,7 @@ void PlanExecutor::run_task_retrying(const plan::Task& task,
     constexpr int kMaxLaunchRetries = 64;
     for (int attempt = 0;; ++attempt) {
         try {
-            run_task(task, rows);
+            run_task(task, index);
             return;
         } catch (const chaos::TransientError&) {
             if (attempt >= kMaxLaunchRetries) throw;
@@ -180,9 +221,24 @@ void PlanExecutor::run_task_retrying(const plan::Task& task,
     }
 }
 
-void PlanExecutor::run_task(const plan::Task& task,
-                            const core::RowSpace& rows) {
+void PlanExecutor::run_fused_stencil(std::size_t index, plan::Sched schedule) {
+    const core::FusedSweepPlan& fp = fused_[index];
+    omp::LoopScheduler sched(0, static_cast<std::int64_t>(fp.size()),
+                             to_omp(schedule), ctx_.team->size());
+    ctx_.team->parallel([&](int id) {
+        omp::drain(sched, id, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t ti = lo; ti < hi; ++ti)
+                core::apply_fused_tile(
+                    *ctx_.coeffs, *ctx_.cur, *ctx_.nxt,
+                    fp.tiles()[static_cast<std::size_t>(ti)].out, fp.fuse(),
+                    scratch(id));
+        });
+    });
+}
+
+void PlanExecutor::run_task(const plan::Task& task, std::size_t index) {
     const plan::Payload& p = task.payload;
+    const core::RowSpace& rows = rows_[index];
     switch (task.op) {
         case plan::Op::PostRecvs:
             ctx_.exchange->post_recvs(*ctx_.comm);
@@ -211,7 +267,9 @@ void PlanExecutor::run_task(const plan::Task& task,
             halo_fill_parallel(*ctx_.team, *ctx_.cur);
             break;
         case plan::Op::Stencil:
-            if (rows.size() > 0)
+            if (fused_[index].size() > 0)
+                run_fused_stencil(index, p.schedule);
+            else if (rows.size() > 0)
                 stencil_parallel(*ctx_.team, *ctx_.coeffs, *ctx_.cur,
                                  *ctx_.nxt, rows, to_omp(p.schedule));
             break;
@@ -240,13 +298,20 @@ void PlanExecutor::run_task(const plan::Task& task,
                                                  *ctx_.d_cur);
             break;
         case plan::Op::KernelHalo:
-            launch_periodic_halo(stream(p.stream), *ctx_.d_cur, p.dim);
+            launch_periodic_halo(stream(p.stream), *ctx_.d_cur, p.dim,
+                                 plan_->fuse);
             break;
         case plan::Op::KernelStencil:
         case plan::Op::KernelFace:
-            launch_stencil(stream(p.stream), *ctx_.device, *ctx_.d_cur,
-                           *ctx_.d_nxt, p.regions[0], ctx_.cfg->block_x,
-                           ctx_.cfg->block_y);
+            if (p.fuse > 1)
+                launch_stencil_fused(stream(p.stream), *ctx_.device,
+                                     *ctx_.d_cur, *ctx_.d_nxt, p.regions[0],
+                                     ctx_.cfg->block_x, ctx_.cfg->block_y,
+                                     p.fuse);
+            else
+                launch_stencil(stream(p.stream), *ctx_.device, *ctx_.d_cur,
+                               *ctx_.d_nxt, p.regions[0], ctx_.cfg->block_x,
+                               ctx_.cfg->block_y);
             break;
         case plan::Op::Sync:
             for (int k = 0; k < p.sync_count; ++k) stream(k).synchronize();

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/fused.hpp"
 #include "core/rows.hpp"
 #include "impl/config.hpp"
 #include "impl/exchange.hpp"
@@ -52,15 +53,26 @@ class PlanExecutor {
   private:
     void run_host_issue();
     void run_team_stages();
-    void run_task(const plan::Task& task, const core::RowSpace& rows);
+    void run_task(const plan::Task& task, std::size_t index);
     /// run_task under a chaos session: retries launches the injector failed
     /// (each retry draws a fresh occurrence, so retries terminate).
-    void run_task_retrying(const plan::Task& task, const core::RowSpace& rows);
+    void run_task_retrying(const plan::Task& task, std::size_t index);
+    /// Fused cpu Stencil: the team drains cache-sized tiles, each advanced
+    /// `fuse` steps through per-thread ping-pong scratch (the tentpole of
+    /// docs/PERF.md "Temporal blocking").
+    void run_fused_stencil(std::size_t index, plan::Sched schedule);
+    /// Per-thread scratch slice for apply_fused_tile.
+    [[nodiscard]] std::span<double> scratch(int thread_id);
     [[nodiscard]] gpu::Stream& stream(int index);
 
     const plan::StepPlan* plan_;
     ExecContext ctx_;
     std::vector<core::RowSpace> rows_;  ///< per task; empty where unused
+    /// Per task: the fused tile decomposition of a Stencil with
+    /// payload.fuse > 1 (empty elsewhere).
+    std::vector<core::FusedSweepPlan> fused_;
+    std::vector<double> scratch_;       ///< per-thread fused-tile scratch
+    std::size_t scratch_stride_ = 0;    ///< doubles per thread in scratch_
     std::vector<std::size_t> stages_;   ///< TeamStages: Stencil/Copy tasks
     int master_task_ = -1;              ///< TeamStages: MasterExchange task
     int step_ = 0;  ///< steps completed; the chaos injection coordinate

@@ -17,6 +17,21 @@ double cpu_stencil_time(const MachineSpec& m, std::size_t points, int threads,
     return std::max(flop_s, mem_s);
 }
 
+double cpu_fused_stencil_time(const MachineSpec& m, std::size_t points,
+                              std::size_t fused_points, int threads,
+                              double efficiency) {
+    if (points == 0) return 0.0;
+    if (fused_points <= points)
+        return cpu_stencil_time(m, points, threads, efficiency);
+    double rate = threads * m.core_gf * 1e9 * efficiency;
+    if (threads > 1) rate *= m.omp_loop_eff;
+    if (threads > m.cores_per_socket) rate *= m.cross_socket_eff;
+    const double flop_s = static_cast<double>(fused_points) * 53.0 / rate;
+    const double mem_s = static_cast<double>(points) * kStencilBytesPerPoint /
+                         (m.task_bw_gbs(threads) * 1e9);
+    return std::max(flop_s, mem_s);
+}
+
 double cpu_copy_time(const MachineSpec& m, std::size_t points, int threads) {
     if (points == 0) return 0.0;
     return static_cast<double>(points) * m.copy_bytes_per_point /

@@ -20,6 +20,18 @@ inline constexpr double kStencilBytesPerPoint = 16.0;
 [[nodiscard]] double cpu_stencil_time(const MachineSpec& m, std::size_t points,
                                       int threads, double efficiency = 1.0);
 
+/// Seconds for one temporally-fused super-step over `points` output points:
+/// `fused_points` stencil evaluations (the outputs plus the redundant halo
+/// pyramid, docs/PERF.md "Temporal blocking") whose intermediate levels stay
+/// in per-thread cache scratch, so only the base-level read and the final
+/// write touch memory — the flop side scales with fused_points while the
+/// memory side stays that of a single pass.
+[[nodiscard]] double cpu_fused_stencil_time(const MachineSpec& m,
+                                            std::size_t points,
+                                            std::size_t fused_points,
+                                            int threads,
+                                            double efficiency = 1.0);
+
 /// Seconds for the Step 3 copy over `points` (memory bound; uses the
 /// machine's copy_bytes_per_point, 0 = buffer-swap variant).
 [[nodiscard]] double cpu_copy_time(const MachineSpec& m, std::size_t points,

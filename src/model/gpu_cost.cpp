@@ -33,7 +33,8 @@ bool block_fits(const GpuModel& g, int bx, int by) {
 }
 
 KernelEstimate kernel_estimate(const GpuModel& g, core::Extents3 region,
-                               int bx, int by) {
+                               int bx, int by, int fuse,
+                               std::size_t fused_points) {
     KernelEstimate e;
     if (!block_fits(g, bx, by) || region.volume() == 0) {
         e.seconds = std::numeric_limits<double>::infinity();
@@ -42,7 +43,19 @@ KernelEstimate kernel_estimate(const GpuModel& g, core::Extents3 region,
     e.valid = true;
 
     const long long threads = static_cast<long long>(bx + 2) * (by + 2);
-    const double shmem = 3.0 * static_cast<double>(threads) * 8.0;
+    // Fused launches stage three rotating shared planes per pyramid level,
+    // each expanded by the remaining halo depth (fuse = 1 reduces to the
+    // plain 3-plane tile).
+    double shmem = 0.0;
+    for (int s = 0; s < std::max(1, fuse); ++s) {
+        const int gs = std::max(1, fuse) - s;
+        shmem += 3.0 * (bx + 2.0 * gs) * (by + 2.0 * gs) * 8.0;
+    }
+    if (shmem > g.props.shared_mem_per_block) {
+        e.valid = false;
+        e.seconds = std::numeric_limits<double>::infinity();
+        return e;
+    }
     const long long tiles_x = (region.nx + bx - 1) / bx;
     const long long tiles_y = (region.ny + by - 1) / by;
     e.blocks = tiles_x * tiles_y;
@@ -69,7 +82,12 @@ KernelEstimate kernel_estimate(const GpuModel& g, core::Extents3 region,
     // points computed and stored. Warp-granular issue charges full bx*by
     // lanes on edge blocks too.
     const double block_z_steps = static_cast<double>(e.blocks) * region.nz;
-    const double flops = block_z_steps * bx * by * core::kFlopsPerPoint;
+    double flops = block_z_steps * bx * by * core::kFlopsPerPoint;
+    // All pyramid levels issue flops; global traffic is unchanged (the
+    // intermediate levels live in the rotating shared planes).
+    if (fuse > 1 && fused_points > region.volume())
+        flops *= static_cast<double>(fused_points) /
+                 static_cast<double>(region.volume());
     const double bytes =
         block_z_steps * 8.0 *
         (static_cast<double>(threads) / e.coalesce_eff + bx * by);
@@ -86,6 +104,11 @@ KernelEstimate kernel_estimate(const GpuModel& g, core::Extents3 region,
 
 double kernel_time(const GpuModel& g, core::Extents3 region, int bx, int by) {
     return kernel_estimate(g, region, bx, by).seconds;
+}
+
+double fused_kernel_time(const GpuModel& g, core::Extents3 region, int bx,
+                         int by, int fuse, std::size_t fused_points) {
+    return kernel_estimate(g, region, bx, by, fuse, fused_points).seconds;
 }
 
 double face_kernel_time(const GpuModel& g, std::size_t points) {

@@ -34,13 +34,25 @@ struct KernelEstimate {
 
 /// Model the tiled stencil kernel over a region of the given extents.
 /// Returns valid=false (seconds=inf) when the block does not fit.
+/// With fuse > 1 the kernel is the temporally-fused variant (docs/PERF.md
+/// "Temporal blocking"): three rotating shared planes per pyramid level,
+/// each expanded by the remaining halo depth, and `fused_points` total
+/// stencil evaluations per super-step; the extra levels cost flops and
+/// shared-memory occupancy but no additional global traffic.
 [[nodiscard]] KernelEstimate kernel_estimate(const GpuModel& g,
                                              core::Extents3 region, int bx,
-                                             int by);
+                                             int by, int fuse = 1,
+                                             std::size_t fused_points = 0);
 
 /// Kernel time in seconds (infinity when the block is invalid).
 [[nodiscard]] double kernel_time(const GpuModel& g, core::Extents3 region,
                                  int bx, int by);
+
+/// Fused-kernel time in seconds (kernel_estimate with fuse > 1; infinity
+/// when the deepened shared staging does not fit the device).
+[[nodiscard]] double fused_kernel_time(const GpuModel& g,
+                                       core::Extents3 region, int bx, int by,
+                                       int fuse, std::size_t fused_points);
 
 /// A specialized boundary-face kernel over `points` face points: the §IV-F
 /// per-face-pair kernels (and the §IV-H/I block-shell kernels) are small,

@@ -14,13 +14,21 @@ using namespace detail;
 StepPlan build_cpu_gpu_bulk(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "cpu_gpu_bulk";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
     w.plan.uses_gpu = true;
     w.plan.streams = 1;
     w.plan.staging = StagingKind::BoxShell;
     w.plan.finalize = Finalize::BlockMerge;
 
-    const core::BoxPartition box(p.local, p.box_thickness);
+    if (p.fuse > p.box_thickness)
+        throw FuseGeometryError(
+            "cpu_gpu_bulk: fuse factor " + std::to_string(p.fuse) +
+            " exceeds the CPU wall thickness " +
+            std::to_string(p.box_thickness) +
+            " (the fuse-deep CPU/GPU shells must stay within the walls)");
+    const core::BoxPartition box(p.local, p.box_thickness, p.fuse);
     const std::size_t in_bytes =
         points_of(box.gpu_halo_shell()) * sizeof(double);
     const std::size_t out_bytes =
@@ -61,11 +69,12 @@ StepPlan build_cpu_gpu_bulk(const BuildParams& p) {
     const int unpack_k =
         w.add("unpack_kernel", Op::KernelUnpack, trace::Lane::Gpu, {up}, uk);
 
-    const int ex = add_bulk_exchange(w, p.local, {pack_h});
+    const int ex = add_bulk_exchange(w, p.local, {pack_h}, {}, p.fuse);
 
     Payload blk;
     blk.regions = {box.gpu_block()};
     blk.points = box.gpu_points();
+    set_fused(blk, p.fuse);
     const int block = w.add("block", Op::KernelStencil, trace::Lane::Gpu,
                             {unpack_k, ex}, blk);
 
@@ -73,6 +82,7 @@ StepPlan build_cpu_gpu_bulk(const BuildParams& p) {
     wl.regions = wall_regions;
     wl.points = box.cpu_points();
     wl.boundary_eff = true;
+    set_fused(wl, p.fuse);
     const int walls =
         w.add("walls", Op::Stencil, trace::Lane::Cpu, {ex}, wl);
 

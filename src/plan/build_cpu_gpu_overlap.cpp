@@ -15,14 +15,24 @@ using namespace detail;
 StepPlan build_cpu_gpu_overlap(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "cpu_gpu_overlap";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
     w.plan.uses_gpu = true;
     w.plan.streams = 2;
     w.plan.staging = StagingKind::BoxShell;
     w.plan.finalize = Finalize::BlockMerge;
 
-    const core::BoxPartition box(p.local, p.box_thickness);
-    const core::Range3 block_interior = core::expand(box.gpu_block(), -1);
+    if (p.fuse > p.box_thickness)
+        throw FuseGeometryError(
+            "cpu_gpu_overlap: fuse factor " + std::to_string(p.fuse) +
+            " exceeds the CPU wall thickness " +
+            std::to_string(p.box_thickness) +
+            " (the fuse-deep CPU/GPU shells must stay within the walls)");
+    const core::BoxPartition box(p.local, p.box_thickness, p.fuse);
+    // The deep interior launches before any halo traffic: fused tiles read
+    // at most `fuse` beyond their write set, so it must recede by fuse.
+    const core::Range3 block_interior = core::expand(box.gpu_block(), -p.fuse);
     const std::vector<core::Range3> block_shell =
         core::box_subtract(box.gpu_block(), block_interior);
     const std::size_t in_bytes =
@@ -46,6 +56,7 @@ StepPlan build_cpu_gpu_overlap(const BuildParams& p) {
     blk.points = block_interior.volume();
     blk.stream = 0;
     blk.contended = block_shell;  // shell kernels steal SMs when concurrent
+    set_fused(blk, p.fuse);
     const int interior = w.add("block_interior", Op::KernelStencil,
                                trace::Lane::Gpu, {}, blk);
 
@@ -75,6 +86,7 @@ StepPlan build_cpu_gpu_overlap(const BuildParams& p) {
         face.regions = {block_shell[f]};
         face.points = block_shell[f].volume();
         face.stream = 1;
+        set_fused(face, p.fuse);
         last_kernel = w.add("shell_" + std::to_string(f), Op::KernelFace,
                             trace::Lane::Gpu, {last_kernel}, face);
     }
@@ -98,13 +110,15 @@ StepPlan build_cpu_gpu_overlap(const BuildParams& p) {
         last = add_overlapped_dim(
             w, p.local, d, {last},
             std::string("inner_walls_") + kDimName[d],
-            inner_by_dim[static_cast<std::size_t>(d)], /*work_eff=*/true);
+            inner_by_dim[static_cast<std::size_t>(d)], /*work_eff=*/true,
+            p.fuse);
     }
 
     Payload ow;
     ow.regions = outer_all;
     ow.points = points_of(outer_all);
     ow.boundary_eff = true;
+    set_fused(ow, p.fuse);
     const int outer =
         w.add("outer_walls", Op::Stencil, trace::Lane::Cpu, {last}, ow);
 

@@ -13,6 +13,8 @@ using namespace detail;
 StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "gpu_mpi_bulk";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
     w.plan.uses_gpu = true;
     w.plan.mirror_only = true;
@@ -21,8 +23,8 @@ StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
     w.plan.finalize = Finalize::DeviceState;
 
     const core::InteriorBoundary parts =
-        core::partition_interior_boundary(p.local);
-    const std::size_t in_bytes = mpi_halo_bytes(p.local);
+        core::partition_interior_boundary(p.local, p.fuse);
+    const std::size_t in_bytes = mpi_halo_bytes(p.local, p.fuse);
     const std::size_t out_bytes = points_of(parts.boundary) * sizeof(double);
 
     Payload pk;
@@ -41,7 +43,7 @@ StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
     const int unpack_h =
         w.add("unpack_host", Op::HostUnpack, trace::Lane::Cpu, {down}, uh);
 
-    const int ex = add_bulk_exchange(w, p.local, {unpack_h});
+    const int ex = add_bulk_exchange(w, p.local, {unpack_h}, {}, p.fuse);
 
     Payload ph;
     ph.bytes = in_bytes;
@@ -63,6 +65,7 @@ StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
         Payload face;
         face.regions = {parts.boundary[f]};
         face.points = parts.boundary[f].volume();
+        set_fused(face, p.fuse);
         last = w.add("face_" + std::to_string(f), Op::KernelFace,
                      trace::Lane::Gpu, {last}, face);
     }
@@ -70,6 +73,7 @@ StepPlan build_gpu_mpi_bulk(const BuildParams& p) {
     Payload in;
     in.regions = {parts.interior};
     in.points = parts.interior.volume();
+    set_fused(in, p.fuse);
     const int interior =
         w.add("interior", Op::KernelStencil, trace::Lane::Gpu, {last}, in);
 

@@ -14,6 +14,8 @@ using namespace detail;
 StepPlan build_gpu_mpi_streams(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "gpu_mpi_streams";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
     w.plan.uses_gpu = true;
     w.plan.mirror_only = true;
@@ -22,20 +24,21 @@ StepPlan build_gpu_mpi_streams(const BuildParams& p) {
     w.plan.finalize = Finalize::DeviceState;
 
     const core::InteriorBoundary parts =
-        core::partition_interior_boundary(p.local);
-    const std::size_t in_bytes = mpi_halo_bytes(p.local);
+        core::partition_interior_boundary(p.local, p.fuse);
+    const std::size_t in_bytes = mpi_halo_bytes(p.local, p.fuse);
     const std::size_t out_bytes = points_of(parts.boundary) * sizeof(double);
 
     Payload in;
     in.regions = {parts.interior};
     in.points = parts.interior.volume();
     in.stream = 0;
+    set_fused(in, p.fuse);
     const int interior =
         w.add("interior", Op::KernelStencil, trace::Lane::Gpu, {}, in);
 
     // The exchange consumes the boundary the previous step staged, not this
     // step's: root the chain on the previous step's unpack_shell.
-    const int ex = add_bulk_exchange(w, p.local, {}, "unpack_shell");
+    const int ex = add_bulk_exchange(w, p.local, {}, "unpack_shell", p.fuse);
 
     Payload ph;
     ph.bytes = in_bytes;
@@ -63,6 +66,7 @@ StepPlan build_gpu_mpi_streams(const BuildParams& p) {
         face.regions = {parts.boundary[f]};
         face.points = parts.boundary[f].volume();
         face.stream = 1;
+        set_fused(face, p.fuse);
         last = w.add("face_" + std::to_string(f), Op::KernelFace,
                      trace::Lane::Gpu, {last}, face);
     }

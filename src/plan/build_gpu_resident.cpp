@@ -11,6 +11,8 @@ using namespace detail;
 StepPlan build_gpu_resident(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "gpu_resident";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_gpu = true;
     w.plan.resident = true;
     w.plan.streams = 1;
@@ -20,8 +22,9 @@ StepPlan build_gpu_resident(const BuildParams& p) {
     for (int d = 0; d < 3; ++d) {
         Payload halo;
         halo.dim = d;
-        // Two transverse planes of the (cubic) resident domain per stage.
-        halo.bytes = 2 *
+        // Two transverse planes of the (cubic) resident domain per stage,
+        // `fuse` deep under temporal blocking.
+        halo.bytes = 2 * static_cast<std::size_t>(p.fuse) *
                      static_cast<std::size_t>(p.local.nx) *
                      static_cast<std::size_t>(p.local.nx) * sizeof(double);
         last = w.add(std::string("halo_") + kDimName[d], Op::KernelHalo,
@@ -33,6 +36,7 @@ StepPlan build_gpu_resident(const BuildParams& p) {
     Payload st;
     st.regions = {whole(p.local)};
     st.points = p.local.volume();
+    set_fused(st, p.fuse);
     const int s =
         w.add("stencil", Op::KernelStencil, trace::Lane::Gpu, {last}, st);
 

@@ -16,9 +16,11 @@ using namespace detail;
 StepPlan build_mpi_bulk(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "mpi_bulk";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
 
-    const auto fb = face_bytes(p.local);
+    const auto fb = face_bytes(p.local, p.fuse);
 
     // "the master thread first issues nonblocking receive calls for 6
     // neighbors"...
@@ -52,6 +54,7 @@ StepPlan build_mpi_bulk(const BuildParams& p) {
     Payload st;
     st.regions = {whole(p.local)};
     st.points = p.local.volume();
+    set_fused(st, p.fuse);
     const int s = w.add("stencil", Op::Stencil, trace::Lane::Cpu, {last}, st);
 
     Payload cp;

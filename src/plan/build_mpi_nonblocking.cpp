@@ -13,10 +13,14 @@ using namespace detail;
 StepPlan build_mpi_nonblocking(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "mpi_nonblocking";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
 
+    // Deep interior [fuse, n-fuse)^3: fused overlap tiles read at most
+    // `fuse` beyond their write set, so in-flight halos are never touched.
     const core::InteriorBoundary parts =
-        core::partition_interior_boundary(p.local);
+        core::partition_interior_boundary(p.local, p.fuse);
     // Row-granular thirds: each dimension's in-flight messages overlap an
     // equal share of the interior even on plane-thin subdomains.
     const std::vector<std::vector<core::Range3>> thirds =
@@ -28,7 +32,7 @@ StepPlan build_mpi_nonblocking(const BuildParams& p) {
         last = add_overlapped_dim(
             w, p.local, d, {last},
             std::string("interior_") + kDimName[d],
-            thirds[static_cast<std::size_t>(d)], /*work_eff=*/false);
+            thirds[static_cast<std::size_t>(d)], /*work_eff=*/false, p.fuse);
     }
 
     Payload bnd;
@@ -36,6 +40,7 @@ StepPlan build_mpi_nonblocking(const BuildParams& p) {
     bnd.points = points_of(parts.boundary);
     bnd.boundary_eff = true;
     bnd.cache_revisit = true;
+    set_fused(bnd, p.fuse);
     const int b =
         w.add("boundary", Op::Stencil, trace::Lane::Cpu, {last}, bnd);
 

@@ -14,12 +14,14 @@ using namespace detail;
 StepPlan build_mpi_thread_overlap(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "mpi_thread_overlap";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
     w.plan.uses_comm = true;
     w.plan.mode = Mode::TeamStages;
 
     const core::InteriorBoundary parts =
-        core::partition_interior_boundary(p.local);
-    const auto fb = face_bytes(p.local);
+        core::partition_interior_boundary(p.local, p.fuse);
+    const auto fb = face_bytes(p.local, p.fuse);
 
     Payload ex;
     ex.bytes = 2 * (fb[0] + fb[1] + fb[2]);
@@ -30,6 +32,7 @@ StepPlan build_mpi_thread_overlap(const BuildParams& p) {
     in.regions = {parts.interior};
     in.points = parts.interior.volume();
     in.schedule = Sched::Guided;
+    set_fused(in, p.fuse);
     const int interior =
         w.add("interior", Op::Stencil, trace::Lane::Cpu, {}, in);
 
@@ -38,6 +41,7 @@ StepPlan build_mpi_thread_overlap(const BuildParams& p) {
     bnd.points = points_of(parts.boundary);
     bnd.boundary_eff = true;
     bnd.cache_revisit = true;
+    set_fused(bnd, p.fuse);
     const int b = w.add("boundary", Op::Stencil, trace::Lane::Cpu,
                         {interior, master}, bnd);
 

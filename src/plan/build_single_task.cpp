@@ -9,8 +9,10 @@ using namespace detail;
 StepPlan build_single_task(const BuildParams& p) {
     Writer w;
     w.plan.impl_id = "single_task";
+    w.plan.local = p.local;
+    w.plan.fuse = p.fuse;
 
-    const auto fb = face_bytes(p.local);
+    const auto fb = face_bytes(p.local, p.fuse);
     Payload halo;
     halo.bytes = 2 * (fb[0] + fb[1] + fb[2]);
     const int hf =
@@ -19,6 +21,7 @@ StepPlan build_single_task(const BuildParams& p) {
     Payload st;
     st.regions = {whole(p.local)};
     st.points = p.local.volume();
+    set_fused(st, p.fuse);
     const int s = w.add("stencil", Op::Stencil, trace::Lane::Cpu, {hf}, st);
 
     Payload cp;

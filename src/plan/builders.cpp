@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fused.hpp"
 #include "core/halo.hpp"
 
 namespace advect::plan {
@@ -23,8 +24,9 @@ StepPlan build_step_plan(const std::string& impl_id, const BuildParams& p) {
 
 namespace detail {
 
-std::array<std::size_t, 3> face_bytes(const core::Extents3& local) {
-    const core::HaloPlan hp = core::HaloPlan::make(local);
+std::array<std::size_t, 3> face_bytes(const core::Extents3& local,
+                                      int depth) {
+    const core::HaloPlan hp = core::HaloPlan::make(local, depth);
     std::array<std::size_t, 3> out{};
     for (int d = 0; d < 3; ++d)
         out[static_cast<std::size_t>(d)] =
@@ -38,8 +40,8 @@ std::size_t points_of(const std::vector<core::Range3>& regions) {
     return pts;
 }
 
-std::size_t mpi_halo_bytes(const core::Extents3& local) {
-    const core::HaloPlan hp = core::HaloPlan::make(local);
+std::size_t mpi_halo_bytes(const core::Extents3& local, int depth) {
+    const core::HaloPlan hp = core::HaloPlan::make(local, depth);
     std::size_t pts = 0;
     for (const core::DimExchange& d : hp.dims)
         pts += d.recv_low.volume() + d.recv_high.volume();
@@ -48,6 +50,12 @@ std::size_t mpi_halo_bytes(const core::Extents3& local) {
 
 core::Range3 whole(const core::Extents3& local) {
     return {{0, 0, 0}, {local.nx, local.ny, local.nz}};
+}
+
+void set_fused(Payload& payload, int fuse) {
+    if (fuse <= 1) return;
+    payload.fuse = fuse;
+    payload.fused_points = core::fused_point_count(payload.regions, fuse);
 }
 
 int Writer::add(std::string name, Op op, trace::Lane lane,
@@ -69,8 +77,9 @@ StepPlan Writer::finish() && {
 }
 
 int add_bulk_exchange(Writer& w, const core::Extents3& local,
-                      std::vector<int> root_deps, std::string cross_step) {
-    const auto fb = face_bytes(local);
+                      std::vector<int> root_deps, std::string cross_step,
+                      int depth) {
+    const auto fb = face_bytes(local, depth);
     const int post =
         w.add("post_recvs", Op::PostRecvs, trace::Lane::Host,
               std::move(root_deps));
@@ -100,8 +109,9 @@ int add_bulk_exchange(Writer& w, const core::Extents3& local,
 
 int add_overlapped_dim(Writer& w, const core::Extents3& local, int dim,
                        std::vector<int> root_deps, std::string work_name,
-                       std::vector<core::Range3> work, bool work_eff) {
-    const auto b = face_bytes(local)[static_cast<std::size_t>(dim)];
+                       std::vector<core::Range3> work, bool work_eff,
+                       int fuse) {
+    const auto b = face_bytes(local, fuse)[static_cast<std::size_t>(dim)];
     Payload pack;
     pack.dim = dim;
     pack.bytes = 2 * b;
@@ -117,6 +127,7 @@ int add_overlapped_dim(Writer& w, const core::Extents3& local, int dim,
     overlap.points = points_of(work);
     overlap.regions = std::move(work);
     overlap.boundary_eff = work_eff;
+    set_fused(overlap, fuse);
     const int ov =
         w.add(std::move(work_name), Op::Stencil, trace::Lane::Cpu, {p},
               std::move(overlap));

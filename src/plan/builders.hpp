@@ -22,6 +22,12 @@ namespace advect::plan {
 struct BuildParams {
     core::Extents3 local;   ///< task-local interior extents
     int box_thickness = 1;  ///< §IV-H/I CPU wall thickness
+    /// Temporal-blocking fuse factor: each plan step advances the state by
+    /// `fuse` time steps from a fuse-deep halo exchanged once (docs/PERF.md
+    /// "Temporal blocking"). 1 builds the classic single-step plans,
+    /// byte-identical to before fusing existed. Builders throw
+    /// FuseGeometryError when the geometry cannot carry the factor.
+    int fuse = 1;
 };
 
 StepPlan build_single_task(const BuildParams& p);        // §IV-A
@@ -45,14 +51,21 @@ namespace detail {
 inline constexpr const char* kDimName[3] = {"x", "y", "z"};
 
 /// Bytes of one halo message per dimension (one direction of one stage of
-/// the serialized exchange).
+/// the serialized exchange) at ghost depth `depth`.
 [[nodiscard]] std::array<std::size_t, 3> face_bytes(
-    const core::Extents3& local);
+    const core::Extents3& local, int depth = 1);
 
 [[nodiscard]] std::size_t points_of(const std::vector<core::Range3>& regions);
 
-/// Bytes of the six MPI halo planes staged host->device each step (§IV-F/G).
-[[nodiscard]] std::size_t mpi_halo_bytes(const core::Extents3& local);
+/// Bytes of the six MPI halo slabs staged host->device each step (§IV-F/G)
+/// at ghost depth `depth`.
+[[nodiscard]] std::size_t mpi_halo_bytes(const core::Extents3& local,
+                                         int depth = 1);
+
+/// Stamp temporal blocking on a compute payload: payload.fuse and the total
+/// fused stencil applications over payload.regions (ghost-zone recomputation
+/// included). A no-op at fuse 1, keeping unfused plans byte-identical.
+void set_fused(Payload& payload, int fuse);
 
 /// The whole local interior [0, n)^3 as a region.
 [[nodiscard]] core::Range3 whole(const core::Extents3& local);
@@ -71,18 +84,22 @@ class Writer {
 /// pack -> comm -> unpack, each stage feeding the next. `root_deps` seed
 /// post_recvs; a non-empty `cross_step` makes post_recvs depend on the named
 /// task of the *previous* step instead of the previous step's terminal.
-/// Returns the index of the final unpack.
+/// `depth` is the exchanged ghost width (the plan's fuse factor). Returns
+/// the index of the final unpack.
 int add_bulk_exchange(Writer& w, const core::Extents3& local,
-                      std::vector<int> root_deps, std::string cross_step = {});
+                      std::vector<int> root_deps, std::string cross_step = {},
+                      int depth = 1);
 
 /// Append one dimension of the overlapped exchange (§IV-C, §IV-I):
 /// pack -> {nic DMA || cpu overlap work} -> wait -> unpack. `work` is the
 /// stencil region computed while dimension `dim`'s messages are in flight
 /// (may be empty on thin subdomains); `work_eff` marks it as a strided
-/// boundary pass for the model. Returns the index of the unpack.
+/// boundary pass for the model. `fuse` sets both the exchanged ghost depth
+/// and the overlap work's fuse factor. Returns the index of the unpack.
 int add_overlapped_dim(Writer& w, const core::Extents3& local, int dim,
                        std::vector<int> root_deps, std::string work_name,
-                       std::vector<core::Range3> work, bool work_eff);
+                       std::vector<core::Range3> work, bool work_eff,
+                       int fuse = 1);
 
 }  // namespace detail
 

@@ -1,5 +1,6 @@
 #include "plan/ir.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -34,6 +35,7 @@ const char* op_name(Op op) {
 
 std::string StepPlan::validate_error() const {
     if (tasks.empty()) return "plan has no tasks";
+    if (fuse < 1) return "fuse factor must be >= 1";
     if (terminal < 0 || terminal >= static_cast<int>(tasks.size()))
         return "terminal index out of range";
     std::unordered_set<std::string> names;
@@ -54,6 +56,13 @@ std::string StepPlan::validate_error() const {
                        "' depends on task '" + tasks[d].name +
                        "' which does not precede it";
         }
+        // A compute task either stays unfused (remainder sweeps, copies) or
+        // fuses exactly as deep as the plan's halo depth covers.
+        if (t.payload.fuse < 1 ||
+            (t.payload.fuse != 1 && t.payload.fuse != fuse))
+            return "task '" + t.name + "' has fuse factor " +
+                   std::to_string(t.payload.fuse) +
+                   " inconsistent with the plan's " + std::to_string(fuse);
         // Every non-host lane must be backed by a resource this plan
         // actually claims from the machine.
         switch (t.lane) {
@@ -83,6 +92,22 @@ std::string StepPlan::validate_error() const {
     return {};
 }
 
+std::string StepPlan::fuse_geometry_error() const {
+    if (fuse <= 1) return {};
+    const core::Extents3 n = local;
+    if (n.nx <= 0 || n.ny <= 0 || n.nz <= 0) return {};
+    const int mn = std::min({n.nx, n.ny, n.nz});
+    if (fuse > mn)
+        return "fuse factor " + std::to_string(fuse) + " needs a " +
+               std::to_string(fuse) + "-deep halo but the local box " +
+               std::to_string(n.nx) + "x" + std::to_string(n.ny) + "x" +
+               std::to_string(n.nz) + " has minimum extent " +
+               std::to_string(mn) +
+               "; the deepened halo exceeds the local box (opposite send "
+               "slabs would overlap)";
+    return {};
+}
+
 int StepPlan::find(const std::string& name) const {
     for (std::size_t i = 0; i < tasks.size(); ++i)
         if (tasks[i].name == name) return static_cast<int>(i);
@@ -90,7 +115,9 @@ int StepPlan::find(const std::string& name) const {
 }
 
 void validate(const StepPlan& plan) {
-    std::string err = plan.validate_error();
+    std::string err = plan.fuse_geometry_error();
+    if (!err.empty()) throw FuseGeometryError("invalid step plan: " + err);
+    err = plan.validate_error();
     if (!err.empty()) throw std::logic_error("invalid step plan: " + err);
 }
 

@@ -18,6 +18,7 @@
 /// executor can issue tasks front to back.
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,15 @@
 #include "trace/span.hpp"
 
 namespace advect::plan {
+
+/// Typed rejection of a fuse factor the geometry cannot carry: the deepened
+/// halo (ghost width = fuse) would exceed the local box extent, or (§IV-H/I)
+/// the CPU wall thickness. Thrown by validate() / the builders; the solver
+/// harness re-throws with the offending rank attached.
+class FuseGeometryError : public std::invalid_argument {
+  public:
+    using std::invalid_argument::invalid_argument;
+};
 
 /// Operation kinds. Each maps to one substrate call in the executor and one
 /// duration formula in the DES lowering.
@@ -65,6 +75,12 @@ struct Payload {
     std::vector<core::Range3> regions;  ///< stencil/copy/kernel regions
     std::size_t points = 0;  ///< total points of `regions` (precomputed)
     std::size_t bytes = 0;   ///< staging / halo-fill bytes moved
+    /// Temporal blocking: steps this compute task advances its regions per
+    /// super-step (1 = classic single-step task).
+    int fuse = 1;
+    /// Total stencil applications of the fused task including ghost-zone
+    /// recomputation (core::fused_point_count); 0 when fuse == 1 (== points).
+    std::size_t fused_points = 0;
     Sched schedule = Sched::Static;
     bool boundary_eff = false;  ///< strided boundary pass (model efficiency)
     bool cache_revisit = false; ///< separate boundary pass re-reads planes
@@ -121,6 +137,13 @@ enum class Finalize {
 /// The per-step plan of one implementation.
 struct StepPlan {
     std::string impl_id;
+    /// Task-local interior extents the plan was built for (fuse validation
+    /// and diagnostics).
+    core::Extents3 local{};
+    /// Temporal-blocking fuse factor: each run_step() advances the state by
+    /// `fuse` time steps from halos `fuse` deep, exchanged once. 1 = the
+    /// classic plans, unchanged.
+    int fuse = 1;
     Mode mode = Mode::HostIssue;
     bool uses_comm = false;   ///< runs under msg ranks with a HaloExchange
     bool uses_gpu = false;    ///< needs a device (+ staging, streams)
@@ -133,18 +156,26 @@ struct StepPlan {
     int terminal = -1;        ///< index of the step-terminal task
 
     /// Structural validation: unique names, dependencies resolvable and
-    /// acyclic (they must point to earlier tasks), terminal in range, and
-    /// every task's lane claimed from a resource the plan declares (gpu/pcie
-    /// lanes require uses_gpu, nic requires uses_comm). Returns an empty
-    /// string when valid, else a description of the first defect.
+    /// acyclic (they must point to earlier tasks), terminal in range, every
+    /// task's lane claimed from a resource the plan declares (gpu/pcie lanes
+    /// require uses_gpu, nic requires uses_comm), and per-task fuse factors
+    /// consistent with the plan's. Returns an empty string when valid, else
+    /// a description of the first defect.
     [[nodiscard]] std::string validate_error() const;
+
+    /// Fuse-vs-geometry validation: a fuse factor whose deepened halo
+    /// exceeds the local box extent cannot be exchanged (the send slabs of
+    /// opposite faces would overlap). Returns an empty string when the
+    /// geometry carries the fuse factor, else a description naming the box.
+    [[nodiscard]] std::string fuse_geometry_error() const;
 
     /// Index of the named task, -1 if absent.
     [[nodiscard]] int find(const std::string& name) const;
 };
 
-/// Throwing wrapper over validate_error (std::logic_error), mirroring the
-/// DES engine's contract.
+/// Throwing wrapper, mirroring the DES engine's contract: FuseGeometryError
+/// for a fuse factor the local box cannot carry, std::logic_error for
+/// structural defects.
 void validate(const StepPlan& plan);
 
 }  // namespace advect::plan

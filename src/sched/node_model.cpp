@@ -68,7 +68,8 @@ plan::StepPlan lowering_plan(Code impl, const RunConfig& cfg,
     const core::Extents3 e = impl == Code::E
                                  ? core::Extents3{cfg.n, cfg.n, cfg.n}
                                  : local;
-    return plan::build_step_plan(id_of(impl), {e, cfg.box_thickness});
+    return plan::build_step_plan(id_of(impl),
+                                 {e, cfg.box_thickness, cfg.fuse});
 }
 
 /// Lowers one implementation's StepPlan into the discrete-event engine and
@@ -112,6 +113,10 @@ class Builder {
         }
         return eng_.run();
     }
+
+    /// The plan's fuse factor: each replay of the plan ("step" in the
+    /// engine) advances this many time steps.
+    [[nodiscard]] int fuse() const { return std::max(1, plan_.fuse); }
 
     /// Injected chaos delay charged to the worst chain over the whole run
     /// (call after makespan()); the modelled straggler bound.
@@ -243,6 +248,15 @@ class Builder {
         return model::kernel_time(*gpu_model_, region, cfg_.block_x,
                                   cfg_.block_y);
     }
+    /// CPU stencil duration of one (possibly fused) payload: the fused
+    /// variant charges the redundant-pyramid flops but a single memory pass
+    /// (docs/PERF.md "Temporal blocking").
+    double stencil_dur(const plan::Payload& p, double eff) const {
+        if (p.fuse > 1)
+            return model::cpu_fused_stencil_time(m_, p.points, p.fused_points,
+                                                 T_, eff);
+        return model::cpu_stencil_time(m_, p.points, T_, eff);
+    }
 
     /// §IV-D: closed-form duration of the fused master-exchange/guided-
     /// interior parallel region. The master thread runs the serial exchange
@@ -259,7 +273,7 @@ class Builder {
             comm_total += comm_bytes(geo_.face_bytes[static_cast<std::size_t>(d)]);
         }
         master += comm_total;
-        double w = model::cpu_stencil_time(m_, p.points, T_) / m_.guided_eff;
+        double w = stencil_dur(p, 1.0) / m_.guided_eff;
         // Guided scheduling overhead: ~T * ln(rows/T) chunk claims.
         const double rows = std::max(
             2.0, static_cast<double>(geo_.local.ny) * geo_.local.nz / T_);
@@ -442,7 +456,7 @@ class Builder {
                 const double eff = p.boundary_eff ? m_.boundary_eff : 1.0;
                 return cpu_task(
                     t.name,
-                    model::cpu_stencil_time(m_, p.points, T_, eff) +
+                    stencil_dur(p, eff) +
                         (p.cache_revisit ? cache_revisit(p.points) : 0.0) +
                         ovh(),
                     std::move(deps));
@@ -472,7 +486,13 @@ class Builder {
                                 model::stage_kernel_time(*gpu_model_, p.bytes),
                                 std::move(deps));
             case plan::Op::KernelStencil: {
-                double dur = kernel(p.regions.front().extents());
+                double dur =
+                    p.fuse > 1
+                        ? model::fused_kernel_time(
+                              *gpu_model_, p.regions.front().extents(),
+                              cfg_.block_x, cfg_.block_y, p.fuse,
+                              p.fused_points)
+                        : kernel(p.regions.front().extents());
                 // When the device runs kernels concurrently, the contended
                 // kernels steal SM throughput from this one: conserve total
                 // work by adding their time.
@@ -483,9 +503,12 @@ class Builder {
                 return gpu_task(t.name, dur, std::move(deps));
             }
             case plan::Op::KernelFace:
-                return gpu_task(t.name,
-                                model::face_kernel_time(*gpu_model_, p.points),
-                                std::move(deps));
+                // Fused faces evaluate the whole redundant pyramid.
+                return gpu_task(
+                    t.name,
+                    model::face_kernel_time(
+                        *gpu_model_, p.fuse > 1 ? p.fused_points : p.points),
+                    std::move(deps));
             case plan::Op::Sync:
                 return cpu_task(t.name, p.sync_count * kSyncOverhead,
                                 std::move(deps));
@@ -601,7 +624,8 @@ double step_time(Code impl, const RunConfig& cfg) {
         Builder b(impl, cfg, kLong);
         const double span_a = a.makespan();
         const double span_b = b.makespan();
-        const double step = (span_b - span_a) / (kLong - kShort);
+        // Each plan replay advances `fuse` time steps; report per time step.
+        const double step = (span_b - span_a) / (kLong - kShort) / a.fuse();
         return step > 0.0 ? step : kInf;
     } catch (const std::invalid_argument&) {
         return kInf;  // infeasible geometry (e.g. box thickness too large)
@@ -623,8 +647,8 @@ PerturbedStep perturbed_step_time(Code impl, const RunConfig& cfg) {
         Builder b(impl, cfg, kLong);
         a.makespan();
         b.makespan();
-        r.injected_per_step =
-            (b.max_injected() - a.max_injected()) / (kLong - kShort);
+        r.injected_per_step = (b.max_injected() - a.max_injected()) /
+                              (kLong - kShort) / a.fuse();
     } catch (const std::invalid_argument&) {
         // infeasible geometry: leave the infinite defaults
     }

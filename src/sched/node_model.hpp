@@ -36,6 +36,11 @@ struct RunConfig {
     int block_x = 32;
     int block_y = 8;
     int box_thickness = 1;
+    /// Temporal-blocking fuse factor (docs/PERF.md): each modelled
+    /// super-step advances `fuse` time steps from fuse-deep halos exchanged
+    /// once; step_time() reports per-time-step seconds. Infeasible factors
+    /// (deepened halo exceeding the local box) evaluate to infinity.
+    int fuse = 1;
     /// Optional chaos scenario lowered into the DES as duration
     /// perturbations (docs/CHAOS.md): message faults stretch the flight
     /// tasks, kernel faults the kernel tasks, task delays any task. Rule

@@ -32,13 +32,15 @@ TuningSpace TuningSpace::full(const model::MachineSpec& machine,
                 if (model::block_fits(*machine.gpu, bx, by))
                     s.blocks.emplace_back(bx, by);
     }
+    s.fuses = {1, 2, 3, 4};
     return s;
 }
 
 std::size_t TuningSpace::size() const {
     return std::max<std::size_t>(1, threads.size()) *
            std::max<std::size_t>(1, boxes.size()) *
-           std::max<std::size_t>(1, blocks.size());
+           std::max<std::size_t>(1, blocks.size()) *
+           std::max<std::size_t>(1, fuses.size());
 }
 
 TuningPoint evaluate(sched::Code impl, const sched::RunConfig& base,
@@ -48,6 +50,7 @@ TuningPoint evaluate(sched::Code impl, const sched::RunConfig& base,
     cfg.box_thickness = p.box_thickness;
     cfg.block_x = p.block_x;
     cfg.block_y = p.block_y;
+    cfg.fuse = p.fuse;
     p.gf = sched::model_gflops(impl, cfg);
     return p;
 }
@@ -64,15 +67,18 @@ TuningPoint grid_search(sched::Code impl, const sched::RunConfig& base,
         space.blocks.empty()
             ? std::vector<std::pair<int, int>>{{base.block_x, base.block_y}}
             : space.blocks;
+    const auto fuses =
+        space.fuses.empty() ? std::vector<int>{base.fuse} : space.fuses;
     TuningPoint best;
     for (int t : threads)
         for (int box : boxes)
-            for (auto [bx, by] : blocks) {
-                const auto p =
-                    evaluate(impl, base, TuningPoint{t, box, bx, by});
-                if (stats != nullptr) ++stats->evaluations;
-                if (p.gf > best.gf) best = p;
-            }
+            for (auto [bx, by] : blocks)
+                for (int f : fuses) {
+                    const auto p =
+                        evaluate(impl, base, TuningPoint{t, box, bx, by, f});
+                    if (stats != nullptr) ++stats->evaluations;
+                    if (p.gf > best.gf) best = p;
+                }
     return best;
 }
 
@@ -90,6 +96,8 @@ TuningPoint coordinate_descent(sched::Code impl, const sched::RunConfig& base,
         space.blocks.empty()
             ? std::vector<std::pair<int, int>>{{base.block_x, base.block_y}}
             : space.blocks;
+    const auto fuses =
+        space.fuses.empty() ? std::vector<int>{base.fuse} : space.fuses;
 
     // The parameters couple (§VI: the best box "can itself depend on the
     // number of threads per task"), so a single seed can strand the search
@@ -101,7 +109,7 @@ TuningPoint coordinate_descent(sched::Code impl, const sched::RunConfig& base,
              {std::size_t{0}, threads.size() / 2, threads.size() - 1}) {
             const TuningPoint corner{threads[pick], boxes.front(),
                                      blocks.front().first,
-                                     blocks.front().second};
+                                     blocks.front().second, fuses.front()};
             const auto p =
                 coordinate_descent(impl, base, space, corner, stats);
             if (p.gf > best.gf) best = p;
@@ -145,6 +153,19 @@ TuningPoint coordinate_descent(sched::Code impl, const sched::RunConfig& base,
             if (t == cur.threads_per_task) continue;
             auto p = cur;
             p.threads_per_task = t;
+            p = evaluate(impl, base, p);
+            if (stats != nullptr) ++stats->evaluations;
+            if (p.gf > cur.gf) {
+                cur = p;
+                improved = true;
+            }
+        }
+        // Fuse last: its payoff depends on whether the step is memory- or
+        // communication-bound, which the other parameters decide.
+        for (int f : fuses) {
+            if (f == cur.fuse) continue;
+            auto p = cur;
+            p.fuse = f;
             p = evaluate(impl, base, p);
             if (stats != nullptr) ++stats->evaluations;
             if (p.gf > cur.gf) {

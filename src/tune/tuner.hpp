@@ -26,6 +26,8 @@ struct TuningPoint {
     int box_thickness = 1;
     int block_x = 32;
     int block_y = 8;
+    /// Temporal-blocking fuse factor (docs/PERF.md "Temporal blocking").
+    int fuse = 1;
     double gf = 0.0;
 
     friend bool operator==(const TuningPoint&, const TuningPoint&) = default;
@@ -37,6 +39,7 @@ struct TuningSpace {
     std::vector<int> threads;
     std::vector<int> boxes;
     std::vector<std::pair<int, int>> blocks;
+    std::vector<int> fuses;
 
     /// The full space the paper sweeps for `impl` on `machine`: the
     /// measured thread ladders, box thicknesses for the Fig. 1

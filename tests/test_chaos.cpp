@@ -282,6 +282,30 @@ TEST(Replay, ZeroAmplitudePlanIsTransparentForAllNine) {
     }
 }
 
+// Fused (temporal-blocking) plans run different step schedules — fused
+// super-steps plus an unfused remainder — but a zero-amplitude session must
+// be exactly as invisible on them: no fired faults, and the bitwise interior
+// of the chaos-free fused run, which itself equals the serial reference
+// (tests/test_fused_parity.cpp).
+TEST(Replay, ZeroAmplitudePlanIsTransparentOnFusedPlans) {
+    auto cfg = small_config(12, 5);
+    cfg.fuse = 3;  // one fused super-step + a 2-step unfused remainder
+    const auto ref = core::run_reference(cfg.problem, cfg.steps);
+    const auto plan = chaos::nic_jitter(0.0, 123);
+    ASSERT_FALSE(plan.can_fire());
+    for (const auto& entry : impl::registry()) {
+        auto c = cfg;
+        if (!entry.uses_mpi) c.ntasks = 1;
+        if (entry.id.rfind("cpu_gpu", 0) == 0) {
+            c.ntasks = 1;
+            c.box_thickness = cfg.fuse;
+        }
+        const auto run = chaos_solve(entry, c, plan);
+        EXPECT_EQ(run.log.size(), 0u) << entry.id;
+        EXPECT_TRUE(run.result.state.interior_equals(ref)) << entry.id;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The DES lowering and the resilience report.
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -151,4 +152,78 @@ TEST(PlanValidate, RejectsUnknownCrossStepDep) {
     auto p = tiny_plan();
     p.tasks[0].cross_step_dep = "ghost";
     EXPECT_NE(p.validate_error().find("cross-step"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal blocking (docs/PERF.md): the builders accept a fuse factor and
+// must reject, with the typed FuseGeometryError, any factor whose deepened
+// halo exceeds the local box (or, for §IV-H/I, the CPU wall thickness).
+
+TEST(PlanFuse, BuildersStampFuseAndLocalExtents) {
+    for (const char* id : kIds) {
+        const auto p = plan::build_step_plan(id, {{24, 24, 24}, 3, 2});
+        EXPECT_EQ(p.fuse, 2) << id;
+        EXPECT_EQ(p.local, (core::Extents3{24, 24, 24})) << id;
+        EXPECT_EQ(p.validate_error(), "") << id;
+    }
+}
+
+TEST(PlanFuse, ThinGeometryPropertySweep) {
+    // Property: over thin boxes and fuse factors 1..5, a build either
+    // succeeds with a valid plan or throws FuseGeometryError exactly when
+    // the fuse-deep halo cannot fit — fuse > min extent, or for the box
+    // implementations fuse > wall thickness.
+    const core::Extents3 shapes[] = {
+        {5, 4, 3}, {3, 3, 9}, {4, 7, 3}, {6, 6, 6}, {2, 5, 5}};
+    for (const char* id : kIds) {
+        const bool box_impl = std::string(id).rfind("cpu_gpu", 0) == 0;
+        for (const auto& n : shapes) {
+            const int min_ext = std::min({n.nx, n.ny, n.nz});
+            const int thickness = 1;
+            if (box_impl && 2 * thickness >= min_ext)
+                continue;  // box infeasible regardless of fuse
+            for (int fuse = 1; fuse <= 5; ++fuse) {
+                const bool feasible =
+                    fuse <= min_ext && (!box_impl || fuse <= thickness);
+                if (feasible) {
+                    const auto p =
+                        plan::build_step_plan(id, {n, thickness, fuse});
+                    EXPECT_EQ(p.validate_error(), "")
+                        << id << " " << n.nx << "x" << n.ny << "x" << n.nz
+                        << " fuse=" << fuse;
+                    EXPECT_NO_THROW(plan::validate(p));
+                } else {
+                    EXPECT_THROW(
+                        (void)plan::build_step_plan(id, {n, thickness, fuse}),
+                        plan::FuseGeometryError)
+                        << id << " " << n.nx << "x" << n.ny << "x" << n.nz
+                        << " fuse=" << fuse;
+                }
+            }
+        }
+    }
+}
+
+TEST(PlanFuse, GeometryErrorNamesTheBox) {
+    try {
+        (void)plan::build_step_plan("mpi_bulk", {{9, 9, 2}, 1, 3});
+        FAIL() << "expected FuseGeometryError";
+    } catch (const plan::FuseGeometryError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("fuse factor 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("9x9x2"), std::string::npos) << what;
+    }
+}
+
+TEST(PlanFuse, ValidateRejectsInconsistentTaskFuse) {
+    auto p = plan::build_step_plan("single_task", {{12, 12, 12}, 1, 3});
+    for (auto& t : p.tasks)
+        if (t.payload.fuse == 3) t.payload.fuse = 2;  // not 1, not plan.fuse
+    EXPECT_NE(p.validate_error().find("fuse"), std::string::npos);
+}
+
+TEST(PlanFuse, ValidateRejectsNonPositiveFuse) {
+    auto p = tiny_plan();
+    p.fuse = 0;
+    EXPECT_NE(p.validate_error().find("fuse"), std::string::npos);
 }

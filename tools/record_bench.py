@@ -14,6 +14,15 @@ Usage:
         --label pr1-fastpath [--note "..."] [--out BENCH_kernels.json]
     tools/record_bench.py --chaos --binary build/bench/bench_chaos_resilience \
         --label pr4-chaos [--out BENCH_chaos.json]
+    tools/record_bench.py --check [--out BENCH_kernels.json]
+
+With --check no benchmark is run: the trajectory file is validated instead —
+JSON schema (description + entries, each entry labelled/dated with a
+benchmarks map) and presence of every tracked series in the *latest* entry,
+so CI fails if a PR adds a series without recording it (or breaks the file
+by hand-editing). Series matching is prefix-safe: "BM_StencilSweep" requires
+a benchmark named "BM_StencilSweep" or "BM_StencilSweep/...", and is not
+satisfied by "BM_StencilSweepFused/..." alone.
 
 Stdlib only; requires the bench binary to be built first (CMake targets
 `bench_record` / `bench_record_chaos` do both).
@@ -30,6 +39,7 @@ import sys
 # The regression-tracked series (benchmark name prefixes).
 TRACKED = (
     "BM_StencilSweep",
+    "BM_StencilSweepFused",
     "BM_StencilRows",
     "BM_CopyRows",
     "BM_PeriodicHaloFill",
@@ -38,6 +48,79 @@ TRACKED = (
     "BM_RowSpaceDecode",
     "BM_SimulatedGpuStencil",
 )
+
+
+def series_present(series: str, names) -> bool:
+    """True when a benchmark of the exact series exists: the series name
+    itself or the series name followed by an argument part. Plain prefix
+    matching would let BM_StencilSweepFused/... satisfy BM_StencilSweep."""
+    return any(n == series or n.startswith(series + "/") for n in names)
+
+
+def check_trajectory(out_path: pathlib.Path, chaos: bool) -> int:
+    errors = []
+    try:
+        doc = json.loads(out_path.read_text())
+    except FileNotFoundError:
+        print(f"--check: {out_path} does not exist", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"--check: {out_path} is not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc.get("description"), str) or not doc["description"]:
+        errors.append("missing or empty 'description'")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        errors.append("'entries' must be a non-empty list")
+        entries = []
+
+    labels = set()
+    for i, e in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("label", "date", "host"):
+            if not isinstance(e.get(key), str) or not e[key]:
+                errors.append(f"{where}: missing or empty '{key}'")
+        label = e.get("label")
+        if isinstance(label, str):
+            if label in labels:
+                errors.append(f"{where}: duplicate label '{label}'")
+            labels.add(label)
+            where = f"entry '{label}'"
+        if chaos:
+            if not isinstance(e.get("resilience"), dict):
+                errors.append(f"{where}: missing 'resilience' object")
+            continue
+        benchmarks = e.get("benchmarks")
+        if not isinstance(benchmarks, dict) or not benchmarks:
+            errors.append(f"{where}: missing or empty 'benchmarks' map")
+            continue
+        for name, b in benchmarks.items():
+            if not isinstance(b, dict) or not isinstance(
+                    b.get("cpu_ns"), (int, float)):
+                errors.append(f"{where}: benchmark '{name}' lacks "
+                              "numeric 'cpu_ns'")
+
+    # Tracked-series presence is required of the *latest* entry only: older
+    # entries legitimately predate newer series.
+    if not chaos and entries and isinstance(entries[-1], dict):
+        latest = entries[-1]
+        names = latest.get("benchmarks") or {}
+        for s in TRACKED:
+            if not series_present(s, names):
+                errors.append(f"latest entry '{latest.get('label')}' is "
+                              f"missing tracked series '{s}'")
+
+    for msg in errors:
+        print(f"--check: {out_path}: {msg}", file=sys.stderr)
+    if not errors:
+        n = len(entries)
+        print(f"--check: {out_path} OK ({n} entries; latest "
+              f"'{entries[-1].get('label')}')", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def run_bench(binary: str) -> dict:
@@ -68,13 +151,17 @@ def run_chaos_bench(binary: str) -> dict:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--binary", required=True, help="bench executable")
-    ap.add_argument("--label", required=True,
+    ap.add_argument("--binary", help="bench executable")
+    ap.add_argument("--label",
                     help="entry label, e.g. 'seed' or 'pr1-fastpath'")
     ap.add_argument("--note", default="", help="free-form context for the run")
     ap.add_argument("--chaos", action="store_true",
                     help="record a bench_chaos_resilience sweep to "
                          "BENCH_chaos.json instead of kernel numbers")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the trajectory file instead of running a "
+                         "bench: schema + tracked-series presence in the "
+                         "latest entry")
     ap.add_argument("--out", default=None,
                     help="trajectory file (default: BENCH_kernels.json / "
                          "BENCH_chaos.json next to this script's repo root)")
@@ -83,6 +170,11 @@ def main() -> int:
     default_name = "BENCH_chaos.json" if args.chaos else "BENCH_kernels.json"
     out_path = pathlib.Path(args.out) if args.out else (
         pathlib.Path(__file__).resolve().parent.parent / default_name)
+
+    if args.check:
+        return check_trajectory(out_path, args.chaos)
+    if not args.binary or not args.label:
+        ap.error("--binary and --label are required unless --check is given")
 
     entry = {
         "label": args.label,
