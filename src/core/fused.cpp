@@ -87,28 +87,40 @@ FusedSweepPlan::FusedSweepPlan(const std::vector<Range3>& regions, int fuse,
 }
 
 void apply_fused_tile(const StencilCoeffs& a, const Field3& in, Field3& out,
-                      const Range3& tile, int fuse, std::span<double> scratch) {
+                      const Range3& tile, int fuse, std::span<double> scratch,
+                      const FusedSource* src) {
     assert(fuse >= 1);
     if (tile.empty()) return;
+    if (src != nullptr && !src->field.active()) src = nullptr;
     const StencilPlan from_field =
         StencilPlan::make(a, in.x_stride(), in.xy_stride());
     if (fuse == 1) {
         const int row = tile.hi.i - tile.lo.i;
         const int rows = tile.hi.j - tile.lo.j;
-        for (int k = tile.lo.k; k < tile.hi.k; ++k)
+        for (int k = tile.lo.k; k < tile.hi.k; ++k) {
             apply_stencil_plane_ptr(from_field,
                                     in.ptr(tile.lo.i, tile.lo.j, k),
                                     out.ptr(tile.lo.i, tile.lo.j, k), row,
                                     rows, in.x_stride(), out.x_stride());
+            if (src != nullptr)
+                add_source_plane(out.ptr(tile.lo.i, tile.lo.j, k),
+                                 out.x_stride(), row, rows,
+                                 src->origin.i + tile.lo.i,
+                                 src->origin.j + tile.lo.j,
+                                 src->origin.k + k, src->base_level,
+                                 src->field);
+        }
         return;
     }
-    if (from_field.terms == 1) {
+    if (from_field.terms == 1 && src == nullptr) {
         // Single surviving term (e.g. Courant-1 coefficients): each point of
         // each level depends on exactly one point of the level below, so the
         // halo pyramid degenerates to a line and the full F-step chain runs
         // in registers — no ring, no redundant halo compute, one read and
         // one write per point per F steps (see apply_stencil_chain_ptr for
-        // the bitwise argument).
+        // the bitwise argument). An active source needs per-level adds the
+        // collapsed chain cannot carry, so it falls through to the ring
+        // pipeline below.
         const int row = tile.hi.i - tile.lo.i;
         const int rows = tile.hi.j - tile.lo.j;
         for (int k = tile.lo.k; k < tile.hi.k; ++k)
@@ -153,11 +165,17 @@ void apply_fused_tile(const StencilCoeffs& a, const Field3& in, Field3& out,
     for (int z1 = tile.lo.k - g; z1 < tile.hi.k + g; ++z1) {
         // Level 1: field -> ring, on expand(tile, g) in x/y.
         {
-            double* dst = ring(1) + slot_of(z1) * plane;
+            double* dst = ring(1) + slot_of(z1) * plane +
+                          pidx(tile.lo.i - g, tile.lo.j - g);
             apply_stencil_plane_ptr(
-                from_field, in.ptr(tile.lo.i - g, tile.lo.j - g, z1),
-                dst + pidx(tile.lo.i - g, tile.lo.j - g), te.nx + 2 * g,
-                te.ny + 2 * g, in.x_stride(), sx);
+                from_field, in.ptr(tile.lo.i - g, tile.lo.j - g, z1), dst,
+                te.nx + 2 * g, te.ny + 2 * g, in.x_stride(), sx);
+            if (src != nullptr)
+                add_source_plane(dst, sx, te.nx + 2 * g, te.ny + 2 * g,
+                                 src->origin.i + tile.lo.i - g,
+                                 src->origin.j + tile.lo.j - g,
+                                 src->origin.k + z1, src->base_level,
+                                 src->field);
         }
         // Levels 2..F consume the plane cascade: level s can retire plane
         // z1 - (s-1) now that level s-1 has produced planes up to z1.
@@ -166,26 +184,40 @@ void apply_fused_tile(const StencilCoeffs& a, const Field3& in, Field3& out,
             const int d = fuse - s;  // remaining ghost depth of level s
             if (zs < tile.lo.k - d || zs >= tile.hi.k + d) continue;
             const StencilPlan& rp = from_ring[slot_of(zs)];
-            const double* src = ring(s - 1) + slot_of(zs) * plane;
+            const double* from = ring(s - 1) + slot_of(zs) * plane;
             if (s == fuse) {
-                apply_stencil_plane_ptr(rp, src + pidx(tile.lo.i, tile.lo.j),
+                apply_stencil_plane_ptr(rp, from + pidx(tile.lo.i, tile.lo.j),
                                         out.ptr(tile.lo.i, tile.lo.j, zs),
                                         te.nx, te.ny, sx, out.x_stride());
+                if (src != nullptr)
+                    add_source_plane(out.ptr(tile.lo.i, tile.lo.j, zs),
+                                     out.x_stride(), te.nx, te.ny,
+                                     src->origin.i + tile.lo.i,
+                                     src->origin.j + tile.lo.j,
+                                     src->origin.k + zs,
+                                     src->base_level + s - 1, src->field);
             } else {
-                double* dst = ring(s) + slot_of(zs) * plane;
+                double* dst = ring(s) + slot_of(zs) * plane +
+                              pidx(tile.lo.i - d, tile.lo.j - d);
                 apply_stencil_plane_ptr(
-                    rp, src + pidx(tile.lo.i - d, tile.lo.j - d),
-                    dst + pidx(tile.lo.i - d, tile.lo.j - d), te.nx + 2 * d,
-                    te.ny + 2 * d, sx, sx);
+                    rp, from + pidx(tile.lo.i - d, tile.lo.j - d), dst,
+                    te.nx + 2 * d, te.ny + 2 * d, sx, sx);
+                if (src != nullptr)
+                    add_source_plane(dst, sx, te.nx + 2 * d, te.ny + 2 * d,
+                                     src->origin.i + tile.lo.i - d,
+                                     src->origin.j + tile.lo.j - d,
+                                     src->origin.k + zs,
+                                     src->base_level + s - 1, src->field);
             }
         }
     }
 }
 
 void apply_fused_sweep(const StencilCoeffs& a, const Field3& in, Field3& out,
-                       const FusedSweepPlan& plan, std::span<double> scratch) {
+                       const FusedSweepPlan& plan, std::span<double> scratch,
+                       const FusedSource* src) {
     for (const FusedTile& t : plan.tiles())
-        apply_fused_tile(a, in, out, t.out, plan.fuse(), scratch);
+        apply_fused_tile(a, in, out, t.out, plan.fuse(), scratch, src);
 }
 
 }  // namespace advect::core

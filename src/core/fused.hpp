@@ -21,9 +21,22 @@
 
 #include "core/coefficients.hpp"
 #include "core/field.hpp"
+#include "core/source.hpp"
 #include "core/stencil.hpp"
 
 namespace advect::core {
+
+/// Manufactured-source context of one fused super-step: the bound source
+/// field, the global origin of the local field's (0,0,0), and the time level
+/// the super-step starts from. Level s of the pipeline adds
+/// Q(global point, base_level + s - 1) to every plane it produces —
+/// including redundantly recomputed ghost planes, which therefore stay
+/// bitwise-equal to the owning points (SourceField::q wraps globally).
+struct FusedSource {
+    SourceField field{};
+    Index3 origin{};
+    int base_level = 0;
+};
 
 /// One tile of a fused sweep: the final-level write set. The tile reads
 /// expand(out, F) of the input field; the intermediate levels live in a
@@ -81,13 +94,19 @@ class FusedSweepPlan {
 /// intermediate level keeps a rotating ring of 3 z-plane slabs in `scratch`
 /// (at least the plan's scratch_doubles(); contents clobbered), so the
 /// working set is O(plane), not O(tile volume). Bitwise-identical to `fuse`
-/// successive apply_stencil sweeps given exact halo data.
+/// successive apply_stencil sweeps given exact halo data. When `src` is
+/// non-null and active, every produced level-s plane additionally gains the
+/// manufactured increment Q at time level src->base_level + s - 1 —
+/// bitwise-identical to `fuse` successive (apply_stencil + add_source)
+/// steps.
 void apply_fused_tile(const StencilCoeffs& a, const Field3& in, Field3& out,
-                      const Range3& tile, int fuse, std::span<double> scratch);
+                      const Range3& tile, int fuse, std::span<double> scratch,
+                      const FusedSource* src = nullptr);
 
 /// Serial fused sweep: apply_fused_tile over every tile of `plan`.
 /// `scratch` is reused across tiles (sized plan.scratch_doubles()).
 void apply_fused_sweep(const StencilCoeffs& a, const Field3& in, Field3& out,
-                       const FusedSweepPlan& plan, std::span<double> scratch);
+                       const FusedSweepPlan& plan, std::span<double> scratch,
+                       const FusedSource* src = nullptr);
 
 }  // namespace advect::core

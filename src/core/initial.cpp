@@ -21,11 +21,12 @@ double wrap01(double x) {
 }  // namespace
 
 double GaussianWave::operator()(double x, double y, double z) const {
+    if (amp == 0.0) return 0.0;
     const double dx = min_image(x, center);
     const double dy = min_image(y, center);
     const double dz = min_image(z, center);
     const double r2 = dx * dx + dy * dy + dz * dz;
-    return std::exp(-r2 / (2.0 * sigma * sigma));
+    return amp * std::exp(-r2 / (2.0 * sigma * sigma));
 }
 
 double analytic_solution(const GaussianWave& wave, const Velocity3& c,

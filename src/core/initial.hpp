@@ -24,6 +24,12 @@ struct Domain {
 struct GaussianWave {
     double sigma = 0.08;
     double center = 0.5;
+    /// Peak amplitude. 0 gives an identically-zero initial condition — the
+    /// pure-manufactured-solution mode of verification, where the evolved
+    /// state is exactly the (single-Fourier-mode, fully resolved) source
+    /// field and convergence-order estimates are asymptotic from the
+    /// coarsest grid.
+    double amp = 1.0;
 
     /// Value of the initial condition at physical point (x, y, z) in [0,1)^3.
     [[nodiscard]] double operator()(double x, double y, double z) const;

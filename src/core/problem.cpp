@@ -22,14 +22,20 @@ double gflops(std::size_t points, int steps, double seconds) {
     return static_cast<double>(total_flops(points, steps)) / seconds / 1e9;
 }
 
+SourceField make_source_field(const AdvectionProblem& p) {
+    return {p.source, p.velocity, p.domain.n, p.domain.delta(), p.dt()};
+}
+
 Field3 run_reference(const AdvectionProblem& p, int steps) {
     const auto coeffs = p.coeffs();
+    const SourceField sf = make_source_field(p);
     Field3 cur(p.domain.extents());
     Field3 nxt(p.domain.extents());
     fill_initial(cur, p.domain, p.wave);
     for (int s = 0; s < steps; ++s) {
         fill_periodic_halo(cur);
         apply_stencil(coeffs, cur, nxt);
+        if (sf.active()) add_source(nxt, sf, {0, 0, 0}, nxt.interior(), s);
         cur.swap(nxt);
     }
     return cur;
@@ -38,8 +44,20 @@ Field3 run_reference(const AdvectionProblem& p, int steps) {
 Norms error_vs_analytic(const AdvectionProblem& p, const Field3& state,
                         int steps, const Index3& origin) {
     Field3 exact(state.extents());
-    fill_analytic(exact, p.domain, p.wave, p.velocity, p.time_at(steps),
-                  origin);
+    const double t = p.time_at(steps);
+    fill_analytic(exact, p.domain, p.wave, p.velocity, t, origin);
+    if (p.source.active()) {
+        // By linearity the exact solution gains the manufactured field
+        // (which starts at zero, so the initial condition is unchanged).
+        const auto n = exact.extents();
+        const double d = p.domain.delta();
+        for (int k = 0; k < n.nz; ++k)
+            for (int j = 0; j < n.ny; ++j)
+                for (int i = 0; i < n.nx; ++i)
+                    exact(i, j, k) += p.source.manufactured(
+                        (origin.i + i) * d, (origin.j + j) * d,
+                        (origin.k + k) * d, t);
+    }
     return diff_norms(state, exact);
 }
 

@@ -8,6 +8,7 @@
 #include "core/coefficients.hpp"
 #include "core/initial.hpp"
 #include "core/norms.hpp"
+#include "core/source.hpp"
 
 namespace advect::core {
 
@@ -17,6 +18,10 @@ struct AdvectionProblem {
     Velocity3 velocity{1.0, 1.0, 1.0};
     GaussianWave wave{};
     double nu = 1.0;  ///< time-step ratio Delta/delta; <= 1/max|c| for stability
+    /// Manufactured-solution forcing (verification only; inactive by
+    /// default). When active, the exact solution becomes the translated
+    /// Gaussian plus the manufactured field (see core/source.hpp).
+    SourceTerm source{};
 
     /// The paper's configuration: n^3 periodic grid, c = (1,1,1), maximum
     /// stable nu. (The paper runs n = 420; tests use smaller n.)
@@ -31,6 +36,10 @@ struct AdvectionProblem {
     /// Simulated time after `steps` steps.
     [[nodiscard]] double time_at(int steps) const { return steps * dt(); }
 };
+
+/// The problem's SourceTerm bound to its discretisation, ready for per-step
+/// Q evaluation at global indices (inactive when the problem has no source).
+[[nodiscard]] SourceField make_source_field(const AdvectionProblem& p);
 
 /// Total floating-point operations for `points` grid points over `steps`
 /// steps (53 flops per point per step, paper §II).

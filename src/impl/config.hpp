@@ -40,6 +40,13 @@ struct SolverConfig {
     /// run through an unfused plan. 1 disables fusing. Results are
     /// bitwise-identical for every legal value.
     int fuse = 1;
+
+    /// Verification-only (docs/VERIFICATION.md "Schedule exploration"):
+    /// when nonzero, HostIssue plan executors issue ready tasks in a seeded
+    /// dependency-respecting permutation instead of plan order, to prove the
+    /// executed state does not depend on FIFO issue order. 0 (the default)
+    /// keeps exact plan order.
+    unsigned schedule_seed = 0;
 };
 
 /// Outcome of a solve: the assembled global state, wall time of the stepping

@@ -14,7 +14,8 @@ void upload_coefficients(gpu::Device& device, const core::StencilCoeffs& a) {
 
 void launch_stencil(gpu::Stream& stream, gpu::Device& device,
                     const DeviceField& in, DeviceField& out,
-                    const core::Range3& region, int bx, int by) {
+                    const core::Range3& region, int bx, int by,
+                    const GpuSource& msrc) {
     assert(in.extents() == out.extents());
     if (region.empty()) return;
     const auto n = in.extents();
@@ -83,6 +84,12 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
                     tile[1] + static_cast<std::size_t>(ly + 1) * tx + 1;
                 double* out_row = dst.data() + in_layout.offset(x0, y0 + ly, k);
                 core::apply_stencil_row_ptr(plan, in_row, out_row, cx);
+                if (msrc.active())
+                    core::add_source_plane(out_row, 0, cx, 1,
+                                           msrc.origin.i + x0,
+                                           msrc.origin.j + y0 + ly,
+                                           msrc.origin.k + k, msrc.level,
+                                           msrc.field);
             }
             std::rotate(&tile[0], &tile[1], &tile[3]);  // z planes advance
         }
@@ -92,10 +99,10 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
 void launch_stencil_fused(gpu::Stream& stream, gpu::Device& device,
                           const DeviceField& in, DeviceField& out,
                           const core::Range3& region, int bx, int by,
-                          int fuse) {
+                          int fuse, const GpuSource& msrc) {
     assert(in.extents() == out.extents());
     if (fuse <= 1) {
-        launch_stencil(stream, device, in, out, region, bx, by);
+        launch_stencil(stream, device, in, out, region, bx, by, msrc);
         return;
     }
     if (region.empty()) return;
@@ -193,6 +200,12 @@ void launch_stencil_fused(gpu::Stream& stream, gpu::Device& device,
                         : level_base(s, t) +
                               static_cast<std::size_t>(ly) * pxd;
                 core::apply_stencil_row_ptr(plan, src_row, dst_row, wx);
+                if (msrc.active())
+                    core::add_source_plane(dst_row, 0, wx, 1,
+                                           msrc.origin.i + x0 - gdst,
+                                           msrc.origin.j + y0 - gdst + ly,
+                                           msrc.origin.k + t,
+                                           msrc.level + s - 1, msrc.field);
             }
         };
 

@@ -9,9 +9,23 @@
 
 #include "core/coefficients.hpp"
 #include "core/field.hpp"
+#include "core/source.hpp"
 #include "gpu/device.hpp"
 
 namespace advect::impl {
+
+/// Manufactured-source context for a stencil launch, captured *by value*
+/// into the kernel lambda (stream drains run after the enqueueing call
+/// returns, so no reference may escape). `level` is the time level of the
+/// kernel's input state, snapshotted at enqueue time. Default-constructed
+/// means inactive: no source arithmetic at all.
+struct GpuSource {
+    core::SourceField field{};
+    core::Index3 origin{};
+    int level = 0;
+
+    [[nodiscard]] bool active() const { return field.active(); }
+};
 
 /// A device buffer with Field3's padded layout (extents n, halo width
 /// `halo`, x fastest). Temporal blocking allocates halo = fuse so one
@@ -61,10 +75,12 @@ void upload_coefficients(gpu::Device& device, const core::StencilCoeffs& a);
 /// two-point fringe are halo threads that only load the shared tile. Three
 /// shared tile planes (z-1, z, z+1) rotate as threads iterate z. The halos
 /// of `in` covering region+1 must be valid. Arithmetic order matches the
-/// CPU kernels bitwise.
+/// CPU kernels bitwise. An active `src` adds the manufactured increment Q to
+/// every written row, bitwise-identical to the CPU source hook.
 void launch_stencil(gpu::Stream& stream, gpu::Device& device,
                     const DeviceField& in, DeviceField& out,
-                    const core::Range3& region, int bx, int by);
+                    const core::Range3& region, int bx, int by,
+                    const GpuSource& src = {});
 
 /// Launch the temporally-blocked stencil kernel: advance `region` by `fuse`
 /// steps in one launch. Each thread block pipelines a z wavefront through
@@ -75,11 +91,12 @@ void launch_stencil(gpu::Stream& stream, gpu::Device& device,
 /// of `in` covering region+fuse must be valid (halo_width() >= the
 /// overhang). Every level runs the same apply_stencil_row_ptr row kernel as
 /// the CPU paths, so the result is bitwise-identical to `fuse` successive
-/// launch_stencil calls.
+/// launch_stencil calls. An active `src` adds Q to every staged level-s row
+/// at time level src.level + s - 1, mirroring the fused CPU pipeline.
 void launch_stencil_fused(gpu::Stream& stream, gpu::Device& device,
                           const DeviceField& in, DeviceField& out,
                           const core::Range3& region, int bx, int by,
-                          int fuse);
+                          int fuse, const GpuSource& src = {});
 
 /// Launch a periodic halo fill for one dimension of a device field whose
 /// extents equal the global domain (GPU-resident case): depth-thick halo

@@ -48,6 +48,9 @@ void marshal_outcome(wire::ByteWriter& w, const core::Field3& state,
     w.i32(e.nx);
     w.i32(e.ny);
     w.i32(e.nz);
+    // Fused runs carry fuse-wide halos; the receiver must rebuild the same
+    // padded shape or the raw payload will not fit.
+    w.i32(state.halo_width());
     w.f64(wall);
     w.doubles(state.raw());
     w.u32(static_cast<std::uint32_t>(log.size()));
@@ -94,8 +97,9 @@ WorkerOutcome unmarshal_outcome(std::span<const std::uint8_t> bytes) {
     e.nx = r.i32();
     e.ny = r.i32();
     e.nz = r.i32();
+    const int halo = r.i32();
     out.wall = r.f64();
-    out.state = core::Field3(e);
+    out.state = core::Field3(e, halo);
     const auto data = r.doubles();
     if (data.size() != out.state.raw().size())
         throw std::runtime_error("launch: state payload size mismatch");

@@ -1,6 +1,8 @@
 #include "impl/plan_executor.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -20,6 +22,113 @@ namespace {
 omp::Schedule to_omp(plan::Sched s) {
     return s == plan::Sched::Guided ? omp::Schedule::Guided
                                     : omp::Schedule::Static;
+}
+
+/// Manufactured-source add over rows [lo, hi) of a row space: the per-chunk
+/// companion of apply_stencil_rows. Appending Q to each written point after
+/// the stencil pass is bitwise-identical to adding it inside the row loop —
+/// each point's value is (stencil sum) + Q either way.
+void add_source_rows(core::Field3& f, const core::RowSpace& rows,
+                     std::int64_t lo, std::int64_t hi,
+                     const core::SourceField& sf, const core::Index3& origin,
+                     int level) {
+    rows.for_each_row(lo, hi, [&](const core::RowSpace::Row& r) {
+        core::add_source_plane(f.ptr(r.xlo, r.j, r.k), 0, r.xhi - r.xlo, 1,
+                               origin.i + r.xlo, origin.j + r.j,
+                               origin.k + r.k, level, sf);
+    });
+}
+
+/// Issue-order chain class of an op for the schedule shuffle: ops within a
+/// class keep their relative plan order. Class 0 is the communication
+/// progression (each rank's sequence of posts/packs/waits is what its
+/// neighbours' blocking waits count on — reordering it across ranks can
+/// deadlock); class 1 is the device progression (enqueues and syncs whose
+/// FIFO order the staging protocol assumes). -1 (pure host compute) permutes
+/// freely within its declared dependencies.
+int chain_class(plan::Op op) {
+    switch (op) {
+        case plan::Op::PostRecvs:
+        case plan::Op::PackSend:
+        case plan::Op::Comm:
+        case plan::Op::CommDma:
+        case plan::Op::Wait:
+        case plan::Op::Unpack:
+        case plan::Op::MasterExchange:
+            return 0;
+        case plan::Op::HostPack:
+        case plan::Op::HostUnpack:
+        case plan::Op::CopyH2D:
+        case plan::Op::CopyD2H:
+        case plan::Op::KernelPack:
+        case plan::Op::KernelUnpack:
+        case plan::Op::KernelHalo:
+        case plan::Op::KernelStencil:
+        case plan::Op::KernelFace:
+        case plan::Op::Sync:
+        case plan::Op::Swap:
+            return 1;
+        case plan::Op::HaloFill:
+        case plan::Op::Stencil:
+        case plan::Op::Copy:
+            return -1;
+    }
+    return -1;
+}
+
+/// Seeded topological shuffle of the plan's task graph: Kahn's algorithm
+/// with a deterministic splitmix64 draw over the ready set, with implicit
+/// chain edges linking consecutive same-class ops (see chain_class). Every
+/// declared dependency is honoured, so any order this produces is one the
+/// executor claims to support — the verification harness asserts the final
+/// state is bitwise-invariant across such orders.
+std::vector<std::size_t> shuffled_issue_order(const plan::StepPlan& plan,
+                                              unsigned seed, int rank) {
+    const std::size_t n = plan.tasks.size();
+    std::vector<std::vector<std::size_t>> succ(n);
+    std::vector<int> indeg(n, 0);
+    const auto edge = [&](std::size_t a, std::size_t b) {
+        succ[a].push_back(b);
+        ++indeg[b];
+    };
+    int prev[2] = {-1, -1};
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const int d : plan.tasks[i].deps)
+            edge(static_cast<std::size_t>(d), i);
+        const int cls = chain_class(plan.tasks[i].op);
+        if (cls >= 0) {
+            if (prev[cls] >= 0) edge(static_cast<std::size_t>(prev[cls]), i);
+            prev[cls] = static_cast<int>(i);
+        }
+    }
+    // splitmix64 over (seed, rank): ranks draw different permutations, and
+    // the whole sequence is platform-independent.
+    std::uint64_t state = (static_cast<std::uint64_t>(seed) << 32) ^
+                          (static_cast<std::uint64_t>(rank) + 1);
+    const auto draw = [&]() {
+        state += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    };
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i)
+        if (indeg[i] == 0) ready.push_back(i);
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            draw() % static_cast<std::uint64_t>(ready.size()));
+        const std::size_t t = ready[pick];
+        ready[pick] = ready.back();
+        ready.pop_back();
+        order.push_back(t);
+        for (const std::size_t s : succ[t])
+            if (--indeg[s] == 0) ready.push_back(s);
+    }
+    assert(order.size() == n);  // deps point backwards, so the graph is a DAG
+    return order;
 }
 
 }  // namespace
@@ -59,6 +168,11 @@ PlanExecutor::PlanExecutor(const plan::StepPlan& plan, ExecContext ctx)
             if (plan.tasks[i].op == plan::Op::MasterExchange)
                 master_task_ = static_cast<int>(i);
     }
+    if (plan.mode == plan::Mode::HostIssue && ctx_.cfg != nullptr &&
+        ctx_.cfg->schedule_seed != 0)
+        order_ = shuffled_issue_order(
+            plan, ctx_.cfg->schedule_seed,
+            ctx_.comm != nullptr ? ctx_.comm->rank() : 0);
 }
 
 std::span<double> PlanExecutor::scratch(int thread_id) {
@@ -79,7 +193,8 @@ void PlanExecutor::run_step() {
 void PlanExecutor::run_host_issue() {
     const bool tracing = trace::enabled();
     const bool injecting = chaos::active();
-    for (std::size_t i = 0; i < plan_->tasks.size(); ++i) {
+    for (std::size_t oi = 0; oi < plan_->tasks.size(); ++oi) {
+        const std::size_t i = order_.empty() ? oi : order_[oi];
         const auto& t = plan_->tasks[i];
         const double t0 = tracing ? trace::now() : 0.0;
         if (injecting) {
@@ -124,6 +239,13 @@ void PlanExecutor::run_team_stages() {
     std::vector<double> stage_end(nstages, 0.0);
     double master0 = 0.0;
     double master1 = 0.0;
+    core::FusedSource fsrc;
+    const core::FusedSource* fsrc_ptr = nullptr;
+    const int level = base_level();
+    if (has_source()) {
+        fsrc = {*ctx_.source, ctx_.origin, level};
+        fsrc_ptr = &fsrc;
+    }
     const double region0 = tracing ? trace::now() : 0.0;
 
     ctx_.team->parallel([&](int id) {
@@ -156,7 +278,7 @@ void PlanExecutor::run_team_stages() {
                                        fp.tiles()[static_cast<std::size_t>(
                                                       ti)]
                                            .out,
-                                       fp.fuse(), scratch(id));
+                                       fp.fuse(), scratch(id), fsrc_ptr);
                            });
             } else if (t.op == plan::Op::Stencil) {
                 omp::drain(*scheds[s], id,
@@ -164,6 +286,10 @@ void PlanExecutor::run_team_stages() {
                                core::apply_stencil_rows(*ctx_.coeffs,
                                                         *ctx_.cur, *ctx_.nxt,
                                                         rows, lo, hi);
+                               if (fsrc_ptr != nullptr)
+                                   add_source_rows(*ctx_.nxt, rows, lo, hi,
+                                                   *ctx_.source, ctx_.origin,
+                                                   level);
                            });
             } else {
                 omp::drain(*scheds[s], id,
@@ -223,6 +349,12 @@ void PlanExecutor::run_task_retrying(const plan::Task& task,
 
 void PlanExecutor::run_fused_stencil(std::size_t index, plan::Sched schedule) {
     const core::FusedSweepPlan& fp = fused_[index];
+    core::FusedSource fsrc;
+    const core::FusedSource* src = nullptr;
+    if (has_source()) {
+        fsrc = {*ctx_.source, ctx_.origin, base_level()};
+        src = &fsrc;
+    }
     omp::LoopScheduler sched(0, static_cast<std::int64_t>(fp.size()),
                              to_omp(schedule), ctx_.team->size());
     ctx_.team->parallel([&](int id) {
@@ -231,7 +363,7 @@ void PlanExecutor::run_fused_stencil(std::size_t index, plan::Sched schedule) {
                 core::apply_fused_tile(
                     *ctx_.coeffs, *ctx_.cur, *ctx_.nxt,
                     fp.tiles()[static_cast<std::size_t>(ti)].out, fp.fuse(),
-                    scratch(id));
+                    scratch(id), src);
         });
     });
 }
@@ -267,11 +399,21 @@ void PlanExecutor::run_task(const plan::Task& task, std::size_t index) {
             halo_fill_parallel(*ctx_.team, *ctx_.cur);
             break;
         case plan::Op::Stencil:
-            if (fused_[index].size() > 0)
+            if (fused_[index].size() > 0) {
                 run_fused_stencil(index, p.schedule);
-            else if (rows.size() > 0)
+            } else if (rows.size() > 0) {
                 stencil_parallel(*ctx_.team, *ctx_.coeffs, *ctx_.cur,
                                  *ctx_.nxt, rows, to_omp(p.schedule));
+                if (has_source()) {
+                    const int level = base_level();
+                    omp::parallel_for(
+                        *ctx_.team, 0, rows.size(), omp::Schedule::Static,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            add_source_rows(*ctx_.nxt, rows, lo, hi,
+                                            *ctx_.source, ctx_.origin, level);
+                        });
+                }
+            }
             break;
         case plan::Op::Copy:
             copy_parallel(*ctx_.team, *ctx_.nxt, *ctx_.cur, rows);
@@ -302,17 +444,21 @@ void PlanExecutor::run_task(const plan::Task& task, std::size_t index) {
                                  plan_->fuse);
             break;
         case plan::Op::KernelStencil:
-        case plan::Op::KernelFace:
+        case plan::Op::KernelFace: {
+            GpuSource gsrc;
+            if (has_source())
+                gsrc = {*ctx_.source, ctx_.origin, base_level()};
             if (p.fuse > 1)
                 launch_stencil_fused(stream(p.stream), *ctx_.device,
                                      *ctx_.d_cur, *ctx_.d_nxt, p.regions[0],
                                      ctx_.cfg->block_x, ctx_.cfg->block_y,
-                                     p.fuse);
+                                     p.fuse, gsrc);
             else
                 launch_stencil(stream(p.stream), *ctx_.device, *ctx_.d_cur,
                                *ctx_.d_nxt, p.regions[0], ctx_.cfg->block_x,
-                               ctx_.cfg->block_y);
+                               ctx_.cfg->block_y, gsrc);
             break;
+        }
         case plan::Op::Sync:
             for (int k = 0; k < p.sync_count; ++k) stream(k).synchronize();
             break;

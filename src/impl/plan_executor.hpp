@@ -39,6 +39,15 @@ struct ExecContext {
     DeviceField* d_cur = nullptr;
     DeviceField* d_nxt = nullptr;
     GpuStaging* staging = nullptr;
+
+    /// Manufactured-source context (verification): null or inactive means no
+    /// source arithmetic anywhere. `origin` is the global index of the local
+    /// field's (0,0,0); `time_level` points at the harness-owned counter of
+    /// completed time steps (shared between a fused executor and its
+    /// remainder executor), read at task-issue time.
+    const core::SourceField* source = nullptr;
+    core::Index3 origin{};
+    const int* time_level = nullptr;
 };
 
 class PlanExecutor {
@@ -64,9 +73,26 @@ class PlanExecutor {
     /// Per-thread scratch slice for apply_fused_tile.
     [[nodiscard]] std::span<double> scratch(int thread_id);
     [[nodiscard]] gpu::Stream& stream(int index);
+    /// True when a manufactured source is wired and active.
+    [[nodiscard]] bool has_source() const {
+        return ctx_.source != nullptr && ctx_.source->active();
+    }
+    /// Time level of the state this step starts from.
+    [[nodiscard]] int base_level() const {
+        return ctx_.time_level != nullptr
+                   ? *ctx_.time_level
+                   : step_ * (plan_->fuse < 1 ? 1 : plan_->fuse);
+    }
 
     const plan::StepPlan* plan_;
     ExecContext ctx_;
+    /// HostIssue issue order; empty means plan order. Populated only when
+    /// cfg.schedule_seed != 0 (verification's schedule exploration): a
+    /// seeded topological shuffle of the task graph that keeps the relative
+    /// order of communication-class ops and of device-class ops (their FIFO
+    /// progressions are load-bearing across ranks and streams) while freely
+    /// permuting compute tasks within their dependencies.
+    std::vector<std::size_t> order_;
     std::vector<core::RowSpace> rows_;  ///< per task; empty where unused
     /// Per task: the fused tile decomposition of a Stencil with
     /// payload.fuse > 1 (empty elsewhere).

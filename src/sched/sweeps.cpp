@@ -35,7 +35,8 @@ bool uses_box(Code impl) { return impl == Code::H || impl == Code::I; }
 
 std::vector<SweepPoint> best_series(Code impl,
                                     const model::MachineSpec& machine,
-                                    std::span<const int> node_counts, int n) {
+                                    std::span<const int> node_counts, int n,
+                                    int fuse) {
     std::vector<SweepPoint> out;
     const auto threads_choices = machine.threads_per_task_choices();
     for (int nodes : node_counts) {
@@ -47,8 +48,10 @@ std::vector<SweepPoint> best_series(Code impl,
             cfg.nodes = nodes;
             cfg.threads_per_task = threads;
             cfg.n = n;
+            cfg.fuse = fuse;
             if (uses_box(impl)) {
                 for (int box : box_choices()) {
+                    if (box < fuse) continue;  // fused shells need the depth
                     cfg.box_thickness = box;
                     const double gf = model_gflops(impl, cfg);
                     if (gf > best.gf) best = {best.cores, gf, threads, box};
@@ -66,7 +69,7 @@ std::vector<SweepPoint> best_series(Code impl,
 std::vector<SweepPoint> threads_series(Code impl,
                                        const model::MachineSpec& machine,
                                        std::span<const int> node_counts,
-                                       int threads, int n) {
+                                       int threads, int n, int fuse) {
     std::vector<SweepPoint> out;
     for (int nodes : node_counts) {
         RunConfig cfg;
@@ -74,6 +77,7 @@ std::vector<SweepPoint> threads_series(Code impl,
         cfg.nodes = nodes;
         cfg.threads_per_task = threads;
         cfg.n = n;
+        cfg.fuse = fuse;
         out.push_back(SweepPoint{nodes * machine.cores_per_node(),
                                  model_gflops(impl, cfg), threads, 0});
     }
@@ -83,7 +87,7 @@ std::vector<SweepPoint> threads_series(Code impl,
 std::vector<SweepPoint> combo_series(Code impl,
                                      const model::MachineSpec& machine,
                                      std::span<const int> node_counts,
-                                     int threads, int box, int n) {
+                                     int threads, int box, int n, int fuse) {
     std::vector<SweepPoint> out;
     for (int nodes : node_counts) {
         RunConfig cfg;
@@ -91,6 +95,7 @@ std::vector<SweepPoint> combo_series(Code impl,
         cfg.nodes = nodes;
         cfg.threads_per_task = threads;
         cfg.n = n;
+        cfg.fuse = fuse;
         cfg.box_thickness = box;
         out.push_back(SweepPoint{nodes * machine.cores_per_node(),
                                  model_gflops(impl, cfg), threads, box});

@@ -29,19 +29,22 @@ struct SweepPoint {
 [[nodiscard]] std::vector<int> box_choices();
 
 /// Best GF over all measured threads-per-task (and, for H/I, box
-/// thicknesses) at each node count.
+/// thicknesses) at each node count. `fuse` > 1 sweeps the temporal-blocking
+/// variant of every schedule (box thicknesses below the fuse depth are
+/// geometrically infeasible for H/I and are skipped).
 [[nodiscard]] std::vector<SweepPoint> best_series(
     Code impl, const model::MachineSpec& machine,
-    std::span<const int> node_counts, int n = 420);
+    std::span<const int> node_counts, int n = 420, int fuse = 1);
 
 /// GF at fixed threads-per-task for each node count (bulk-sync Figs. 5-6).
 [[nodiscard]] std::vector<SweepPoint> threads_series(
     Code impl, const model::MachineSpec& machine,
-    std::span<const int> node_counts, int threads, int n = 420);
+    std::span<const int> node_counts, int threads, int n = 420, int fuse = 1);
 
 /// GF for one (threads, box) combination across node counts (Figs. 11-12).
 [[nodiscard]] std::vector<SweepPoint> combo_series(
     Code impl, const model::MachineSpec& machine,
-    std::span<const int> node_counts, int threads, int box, int n = 420);
+    std::span<const int> node_counts, int threads, int box, int n = 420,
+    int fuse = 1);
 
 }  // namespace advect::sched

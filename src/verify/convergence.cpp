@@ -1,0 +1,65 @@
+#include "verify/convergence.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "impl/registry.hpp"
+#include "verify/mms.hpp"
+
+namespace advect::verify {
+
+OrderStudy convergence_study(const std::string& impl_id, int fuse,
+                             const StudyParams& params) {
+    const impl::Implementation& im = impl::find_implementation(impl_id);
+    OrderStudy study;
+    study.impl_id = impl_id;
+    study.fuse = fuse;
+    const int n0 = params.grids.front();
+    for (const int n : params.grids) {
+        impl::SolverConfig cfg;
+        cfg.problem = params.mixed ? mms_mixed_problem(n, params.nu_fraction)
+                                   : mms_problem(n, params.nu_fraction);
+        // Same simulated time on every rung: dt halves as h halves, so the
+        // step count doubles.
+        cfg.steps = params.coarse_steps * (n / n0);
+        cfg.fuse = fuse;
+        cfg.ntasks = im.uses_mpi ? params.ntasks : 1;
+        cfg.threads_per_task = params.threads;
+        // The CPU box of the hybrid implementations must be at least
+        // fuse-deep (the fused shells live inside the walls).
+        cfg.box_thickness = fuse > 1 ? fuse : 1;
+        const impl::SolveResult r = im.solve(cfg);
+        study.points.push_back({n, cfg.steps, r.error});
+    }
+    const std::size_t m = study.points.size();
+    if (m >= 2) {
+        const core::Norms& coarse = study.points[m - 2].error;
+        const core::Norms& fine = study.points[m - 1].error;
+        if (coarse.l2 > 0.0 && fine.l2 > 0.0)
+            study.order_l2 = std::log2(coarse.l2 / fine.l2);
+        if (coarse.linf > 0.0 && fine.linf > 0.0)
+            study.order_linf = std::log2(coarse.linf / fine.linf);
+    }
+    return study;
+}
+
+std::string format_study(const OrderStudy& study) {
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-18s fuse=%d\n%8s %8s %14s %14s\n", study.impl_id.c_str(),
+                  study.fuse, "grid", "steps", "L2 error", "Linf error");
+    out += line;
+    for (const OrderPoint& p : study.points) {
+        std::snprintf(line, sizeof line, "%7d^3 %8d %14.4e %14.4e\n", p.n,
+                      p.steps, p.error.l2, p.error.linf);
+        out += line;
+    }
+    std::snprintf(line, sizeof line,
+                  "observed order: L2 %.3f, Linf %.3f (formal order 2)\n",
+                  study.order_l2, study.order_linf);
+    out += line;
+    return out;
+}
+
+}  // namespace advect::verify

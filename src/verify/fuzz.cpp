@@ -1,0 +1,347 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "chaos/scenario.hpp"
+#include "core/decomposition.hpp"
+#include "core/initial.hpp"
+#include "core/problem.hpp"
+#include "impl/launch.hpp"
+#include "impl/registry.hpp"
+#include "plan/ir.hpp"
+
+namespace advect::verify {
+namespace {
+
+/// splitmix64: the same tiny deterministic generator the schedule shuffle
+/// uses, so corpus seeds expand identically on every platform.
+struct Rng {
+    std::uint64_t s;
+    std::uint64_t next() {
+        std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    /// Uniform int in [lo, hi].
+    int range(int lo, int hi) {
+        return lo + static_cast<int>(next() % static_cast<std::uint64_t>(
+                                                  hi - lo + 1));
+    }
+    /// Uniform double in [0, 1).
+    double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+bool is_box_impl(const std::string& id) {
+    return id == "cpu_gpu_bulk" || id == "cpu_gpu_overlap";
+}
+
+/// Smallest local extent of the case's decomposition: the box
+/// implementations need every local extent to hold a box of the configured
+/// thickness around a non-empty block.
+int min_local_extent(const FuzzCase& c) {
+    const auto decomp = core::make_decomposition(
+        core::Extents3{c.n, c.n, c.n}, c.ntasks);
+    int m = c.n;
+    for (int r = 0; r < decomp.nranks(); ++r) {
+        const auto e = decomp.local_extents(r);
+        m = std::min({m, e.nx, e.ny, e.nz});
+    }
+    return m;
+}
+
+impl::SolverConfig base_config(const FuzzCase& c) {
+    impl::SolverConfig cfg;
+    cfg.problem.domain.n = c.n;
+    cfg.problem.velocity = c.velocity;
+    cfg.problem.nu = c.nu_fraction * core::max_stable_nu(c.velocity);
+    if (c.mms) {
+        cfg.problem.source.amp = 1.0;
+        cfg.problem.source.kx = 1;
+        cfg.problem.source.ky = 2;
+        cfg.problem.source.kz = 1;
+    }
+    cfg.steps = c.steps;
+    cfg.ntasks = c.ntasks;
+    cfg.threads_per_task = c.threads;
+    cfg.block_x = c.block_x;
+    cfg.block_y = c.block_y;
+    cfg.box_thickness = c.box_thickness;
+    cfg.fuse = c.fuse;
+    cfg.tasks_per_gpu = c.tasks_per_gpu;
+    cfg.schedule_seed = c.schedule_seed;
+    return cfg;
+}
+
+double interior_sum(const core::Field3& f) {
+    const auto n = f.extents();
+    double s = 0.0;
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i) s += f(i, j, k);
+    return s;
+}
+
+void interior_min_max(const core::Field3& f, double& lo, double& hi) {
+    const auto n = f.extents();
+    lo = hi = f(0, 0, 0);
+    for (int k = 0; k < n.nz; ++k)
+        for (int j = 0; j < n.ny; ++j)
+            for (int i = 0; i < n.nx; ++i) {
+                lo = std::min(lo, f(i, j, k));
+                hi = std::max(hi, f(i, j, k));
+            }
+}
+
+}  // namespace
+
+FuzzCase sample_case(std::uint64_t seed) {
+    // Avalanche the raw seed into the generator state: without this,
+    // adjacent seeds' splitmix streams are the same stream offset by one
+    // draw, and neighbouring corpus entries would share most fields.
+    Rng rng{Rng{seed}.next()};
+    FuzzCase c;
+    c.seed = seed;
+    c.n = rng.range(10, 18);
+    c.steps = rng.range(2, 6);
+    c.ntasks = rng.range(1, 6);
+    c.threads = rng.range(1, 3);
+    c.block_x = 1 << rng.range(1, 3);
+    c.block_y = 1 << rng.range(1, 2);
+    c.box_thickness = rng.range(1, 2);
+    c.fuse = rng.range(1, 4);
+    // The hybrid implementations need box >= fuse; deepen the box half the
+    // time so they are fuzzed at deep fuse too (the other half leaves them
+    // infeasible on purpose, exercising the skip path).
+    if (c.fuse > c.box_thickness && rng.range(0, 1) != 0)
+        c.box_thickness = c.fuse;
+    c.tasks_per_gpu = rng.range(1, std::min(c.ntasks, 2));
+
+    c.courant_one = rng.range(0, 3) == 0;
+    if (c.courant_one) {
+        // Exact-shift regime: |c_i| * nu = 1 in every dimension makes the
+        // 27 coefficients a pure shift (all non-negative), activating the
+        // discrete-max-principle oracle.
+        c.velocity = {rng.range(0, 1) != 0 ? 1.0 : -1.0,
+                      rng.range(0, 1) != 0 ? 1.0 : -1.0,
+                      rng.range(0, 1) != 0 ? 1.0 : -1.0};
+        c.nu_fraction = 1.0;
+        c.mms = false;
+    } else {
+        core::Velocity3 v{-1.5 + 3.0 * rng.unit(), -1.5 + 3.0 * rng.unit(),
+                          -1.5 + 3.0 * rng.unit()};
+        if (v.max_abs() < 0.1) v.cx = 1.0;  // avoid degenerate zero flow
+        c.velocity = v;
+        c.nu_fraction = 0.3 + 0.7 * rng.unit();
+        c.mms = rng.range(0, 1) != 0;
+    }
+
+    c.socket = c.tasks_per_gpu == 1 && rng.range(0, 2) == 0;
+
+    if (rng.range(0, 1) != 0) {
+        static const char* const kScenarios[] = {
+            "nic-jitter", "message-drops", "gpu-slow", "gpu-flaky",
+            "straggler"};
+        c.chaos_scenario = kScenarios[rng.range(0, 4)];
+        const bool probabilistic = c.chaos_scenario == "message-drops" ||
+                                   c.chaos_scenario == "gpu-flaky";
+        c.chaos_x = probabilistic ? 0.05 + 0.20 * rng.unit()
+                                  : 20.0 + 60.0 * rng.unit();
+        c.chaos_seed = rng.next();
+    }
+
+    if (rng.range(0, 1) != 0) {
+        c.schedule_seed = static_cast<unsigned>(rng.next() >> 32);
+        if (c.schedule_seed == 0) c.schedule_seed = 1;
+    }
+    return c;
+}
+
+std::string reproducer(const FuzzCase& c) {
+    return "advectctl verify fuzz --seed " + std::to_string(c.seed);
+}
+
+std::string describe(const FuzzCase& c) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "seed=%llu n=%d steps=%d ntasks=%d threads=%d block=%dx%d box=%d "
+        "fuse=%d tpg=%d c=(%.3f,%.3f,%.3f) nu=%.2f%s%s%s%s sched=%u",
+        static_cast<unsigned long long>(c.seed), c.n, c.steps, c.ntasks,
+        c.threads, c.block_x, c.block_y, c.box_thickness, c.fuse,
+        c.tasks_per_gpu, c.velocity.cx, c.velocity.cy, c.velocity.cz,
+        c.nu_fraction, c.courant_one ? " courant1" : "", c.mms ? " mms" : "",
+        c.socket ? " socket" : "",
+        c.chaos_scenario.empty() ? ""
+                                 : (" chaos=" + c.chaos_scenario).c_str(),
+        c.schedule_seed);
+    return buf;
+}
+
+FuzzOutcome run_case(const FuzzCase& c) {
+    FuzzOutcome out;
+    out.fuzz_case = c;
+    const impl::SolverConfig base = base_config(c);
+    const auto reference = core::run_reference(base.problem, base.steps);
+    const int min_extent = min_local_extent(c);
+
+    auto fail = [&out](const std::string& what) {
+        out.failures.push_back(what);
+    };
+
+    // Oracle 1: all nine implementations bitwise-equal to the reference.
+    for (const auto& im : impl::registry()) {
+        if (is_box_impl(im.id) && min_extent < 2 * c.box_thickness + 1) {
+            ++out.skipped;
+            continue;
+        }
+        try {
+            const auto r = im.solve(base);
+            ++out.checks;
+            if (!r.state.interior_equals(reference))
+                fail(im.id + ": state diverges from reference");
+        } catch (const plan::FuseGeometryError&) {
+            ++out.skipped;  // fuse too deep for this rank geometry
+        }
+    }
+
+    // Oracle 2: conservation of the periodic integral. The coefficients sum
+    // to exactly 1, so the total can drift only by roundoff. Source runs
+    // inject integral by design and are exempt.
+    if (!c.mms) {
+        core::Field3 initial(base.problem.domain.extents());
+        core::fill_initial(initial, base.problem.domain, base.problem.wave);
+        const double s0 = interior_sum(initial);
+        const double st = interior_sum(reference);
+        const double tol = 5e-14 * static_cast<double>(
+                                       base.problem.domain.volume()) *
+                           static_cast<double>(c.steps);
+        ++out.checks;
+        if (std::abs(st - s0) > tol) {
+            char b[128];
+            std::snprintf(b, sizeof b,
+                          "conservation: |sum drift| %.3e > tol %.3e",
+                          std::abs(st - s0), tol);
+            fail(b);
+        }
+
+        // Oracle 3: discrete maximum principle, valid exactly when all 27
+        // coefficients are non-negative (a convex combination). For
+        // Lax-Wendroff that is the Courant-1 shift regime; intermediate
+        // Courant numbers legitimately over/undershoot.
+        const auto coeffs = base.problem.coeffs();
+        const bool monotone =
+            std::all_of(coeffs.a.begin(), coeffs.a.end(),
+                        [](double a) { return a >= 0.0; });
+        if (monotone) {
+            double lo0 = 0.0, hi0 = 0.0, lot = 0.0, hit = 0.0;
+            interior_min_max(initial, lo0, hi0);
+            interior_min_max(reference, lot, hit);
+            ++out.checks;
+            if (lot < lo0 - 1e-12 || hit > hi0 + 1e-12) {
+                char b[160];
+                std::snprintf(b, sizeof b,
+                              "max principle: range [%.6e, %.6e] escapes "
+                              "initial [%.6e, %.6e]",
+                              lot, hit, lo0, hi0);
+                fail(b);
+            }
+        }
+    }
+
+    // Pick deterministic implementations for the transport/chaos legs.
+    Rng pick{c.seed ^ 0xa5a5a5a55a5a5a5aull};
+    static const char* const kCommImpls[] = {"mpi_bulk", "mpi_nonblocking",
+                                             "mpi_thread_overlap"};
+    static const char* const kGpuImpls[] = {"gpu_mpi_bulk",
+                                            "gpu_mpi_streams"};
+
+    // Oracle 4: the socket transport (forked worker processes) reproduces
+    // the in-process state bitwise.
+    if (c.socket) {
+        const std::string id = kCommImpls[pick.range(0, 2)];
+        impl::LaunchOptions opts;
+        opts.transport = impl::TransportKind::Socket;
+        try {
+            const auto rep = impl::launch_solver(id, base, opts);
+            ++out.checks;
+            if (!rep.result.state.interior_equals(reference))
+                fail(id + " over socket transport diverges from reference");
+        } catch (const plan::FuseGeometryError&) {
+            ++out.skipped;
+        }
+    }
+
+    // Oracle 5: chaos recovery. Dropped messages are retransmitted, flaky
+    // kernels retried, jitter and stragglers only reorder time — the
+    // recovered state must equal the fault-free state bitwise.
+    if (!c.chaos_scenario.empty()) {
+        const bool gpu_fault = c.chaos_scenario == "gpu-slow" ||
+                               c.chaos_scenario == "gpu-flaky";
+        const std::string id = gpu_fault ? kGpuImpls[pick.range(0, 1)]
+                                         : kCommImpls[pick.range(0, 2)];
+        const auto plan =
+            chaos::scenario_by_name(c.chaos_scenario, c.chaos_x, c.chaos_seed);
+        impl::LaunchOptions opts;
+        opts.fault_plan = &plan;
+        if (c.socket && !gpu_fault)
+            opts.transport = impl::TransportKind::Socket;
+        try {
+            const auto rep = impl::launch_solver(id, base, opts);
+            ++out.checks;
+            if (!rep.result.state.interior_equals(reference))
+                fail(id + " under " + c.chaos_scenario +
+                     " does not recover to the fault-free state");
+        } catch (const plan::FuseGeometryError&) {
+            ++out.skipped;
+        }
+    }
+
+    return out;
+}
+
+namespace {
+
+FuzzSummary accumulate(std::span<const std::uint64_t> seeds, bool log) {
+    FuzzSummary sum;
+    for (const std::uint64_t seed : seeds) {
+        const FuzzCase c = sample_case(seed);
+        const FuzzOutcome out = run_case(c);
+        ++sum.cases;
+        sum.checks += out.checks;
+        sum.skipped += out.skipped;
+        if (log)
+            std::printf("[%s] %s (%d checks, %d skipped)\n",
+                        out.ok() ? "ok" : "FAIL", describe(c).c_str(),
+                        out.checks, out.skipped);
+        if (!out.ok()) {
+            for (const std::string& f : out.failures)
+                std::printf("  failure: %s\n", f.c_str());
+            std::printf("  reproduce: %s\n", reproducer(c).c_str());
+            std::fflush(stdout);
+            sum.failures.push_back(out);
+        }
+    }
+    if (log)
+        std::printf("fuzz: %d cases, %d checks, %d skipped, %zu failing\n",
+                    sum.cases, sum.checks, sum.skipped, sum.failures.size());
+    return sum;
+}
+
+}  // namespace
+
+FuzzSummary run_campaign(std::uint64_t first, int count, bool log) {
+    std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        seeds[static_cast<std::size_t>(i)] = first + static_cast<unsigned>(i);
+    return accumulate(seeds, log);
+}
+
+FuzzSummary run_seeds(std::span<const std::uint64_t> seeds, bool log) {
+    return accumulate(seeds, log);
+}
+
+}  // namespace advect::verify

@@ -1,0 +1,104 @@
+#pragma once
+/// \file fuzz.hpp
+/// Seeded differential fuzzing over the full configuration space
+/// (docs/VERIFICATION.md "Differential fuzzing"): one 64-bit seed expands
+/// deterministically into a complete configuration — geometry, velocity/nu,
+/// rank/thread counts, GPU block and box shapes, fuse factor, manufactured
+/// source on/off, transport, chaos scenario, schedule-exploration seed —
+/// and `run_case` checks every oracle that applies:
+///
+///  * all nine implementations bitwise-equal to the single-threaded
+///    reference (infeasible combinations are skipped, never silently:
+///    the outcome counts them);
+///  * conservation of the periodic integral (source-free cases; the 27
+///    coefficients sum to exactly 1, so drift is bounded by roundoff);
+///  * the discrete maximum principle whenever all 27 coefficients are
+///    non-negative (Courant-1 cases: the scheme degenerates to a shift);
+///  * socket-transport runs bitwise-equal to in-process runs;
+///  * chaos runs (message drops + retransmission, flaky kernel retries,
+///    jitter/stragglers) bitwise-equal to the fault-free state;
+///  * seeded schedule permutations bitwise-equal to plan-order issue.
+///
+/// Any failure carries a standalone single-line reproducer
+/// (`advectctl verify fuzz --seed N`), so a nightly finding replays locally
+/// from nothing but the printed line.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace advect::verify {
+
+/// A fully-expanded fuzz configuration. Everything is derived from `seed`
+/// by `sample_case`; the struct exists so tests and the CLI can inspect or
+/// pin individual fields.
+struct FuzzCase {
+    std::uint64_t seed = 0;
+    int n = 12;
+    int steps = 4;
+    int ntasks = 2;
+    int threads = 2;
+    int block_x = 8;
+    int block_y = 4;
+    int box_thickness = 1;
+    int fuse = 1;
+    int tasks_per_gpu = 1;
+    core::Velocity3 velocity{1.0, 1.0, 1.0};
+    double nu_fraction = 1.0;  ///< of the stability limit
+    bool courant_one = false;  ///< exact-shift regime (max-principle oracle)
+    bool mms = false;          ///< manufactured source active (mixed mode)
+    bool socket = false;       ///< also run the socket transport
+    std::string chaos_scenario;  ///< empty = no chaos leg
+    double chaos_x = 0.0;        ///< scenario amplitude/probability
+    std::uint64_t chaos_seed = 0;
+    unsigned schedule_seed = 0;  ///< 0 = plan-order issue
+};
+
+/// Deterministically expand a seed into a configuration. Mostly-feasible by
+/// construction (grid, ranks, and fuse are drawn from ranges that usually
+/// coexist); the residual infeasible corners are skipped at run time.
+[[nodiscard]] FuzzCase sample_case(std::uint64_t seed);
+
+/// The standalone single-line reproducer for a case.
+[[nodiscard]] std::string reproducer(const FuzzCase& c);
+
+/// One-line human-readable description of the expanded configuration.
+[[nodiscard]] std::string describe(const FuzzCase& c);
+
+/// Result of running one case: every oracle that fired, and every check it
+/// performed (so "zero failures" is distinguishable from "nothing ran").
+struct FuzzOutcome {
+    FuzzCase fuzz_case;
+    int checks = 0;   ///< oracle comparisons performed
+    int skipped = 0;  ///< implementations skipped as geometrically infeasible
+    std::vector<std::string> failures;
+    [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Expand and run one seed through every applicable oracle.
+[[nodiscard]] FuzzOutcome run_case(const FuzzCase& c);
+
+/// Aggregate of a campaign over many seeds.
+struct FuzzSummary {
+    int cases = 0;
+    int checks = 0;
+    int skipped = 0;
+    std::vector<FuzzOutcome> failures;
+    [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run seeds [first, first + count). When `log` is true, prints one progress
+/// line per case and, for any failure, the failing oracles plus the
+/// reproducer line to stdout.
+[[nodiscard]] FuzzSummary run_campaign(std::uint64_t first, int count,
+                                       bool log = false);
+
+/// Run an explicit seed list (e.g. the committed corpus in
+/// tests/fuzz_corpus.txt).
+[[nodiscard]] FuzzSummary run_seeds(std::span<const std::uint64_t> seeds,
+                                    bool log = false);
+
+}  // namespace advect::verify

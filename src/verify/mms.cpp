@@ -1,0 +1,24 @@
+#include "verify/mms.hpp"
+
+namespace advect::verify {
+
+core::AdvectionProblem mms_problem(int n, double nu_fraction) {
+    core::AdvectionProblem p;
+    p.domain.n = n;
+    p.velocity = {1.0, 0.5, 0.25};
+    p.nu = nu_fraction * core::max_stable_nu(p.velocity);
+    p.wave.amp = 0.0;  // pure manufactured mode: u(x, 0) = 0
+    p.source.amp = 1.0;
+    p.source.kx = 1;
+    p.source.ky = 2;
+    p.source.kz = 1;
+    return p;
+}
+
+core::AdvectionProblem mms_mixed_problem(int n, double nu_fraction) {
+    core::AdvectionProblem p = mms_problem(n, nu_fraction);
+    p.wave.amp = 1.0;  // Gaussian initial condition on top of the source
+    return p;
+}
+
+}  // namespace advect::verify

@@ -1,0 +1,38 @@
+#pragma once
+/// \file mms.hpp
+/// Verification problem builders (docs/VERIFICATION.md): exact-solution and
+/// manufactured-solution configurations of the periodic advection cube, in
+/// the V&V tradition of code verification — the solver is checked against
+/// analytic truth, not merely against its own sibling implementations.
+///
+/// Three regimes matter:
+///  * Courant-1 exactness: the standard problem's coefficients degenerate to
+///    a pure shift, so the scheme is *exact* — any error beyond roundoff is
+///    a code bug, not discretisation.
+///  * Translated-Gaussian transport at nu below the limit: genuine
+///    truncation error against the analytic translated wave.
+///  * Manufactured source (core/source.hpp): a forced single Fourier mode
+///    with a known exact solution, fully resolved on even the coarsest
+///    grids, so observed-order estimates are asymptotic immediately.
+
+#include "core/problem.hpp"
+
+namespace advect::verify {
+
+/// Manufactured-solution problem: zero initial condition (wave.amp = 0),
+/// velocity (1, 0.5, 0.25) — deliberately non-unit so no dimension
+/// degenerates to an exact shift — nu at `nu_fraction` of the stability
+/// limit, and an active single-mode source. The exact solution is
+/// u(x, t) = amp sin(omega t) cos(2 pi (x + 2y + z)).
+[[nodiscard]] core::AdvectionProblem mms_problem(int n,
+                                                 double nu_fraction = 0.5);
+
+/// Mixed verification problem: the standard Gaussian wave *plus* the active
+/// manufactured source, at the given velocity/nu regime. Exercises both the
+/// homogeneous scheme and the source hook in one run; used by the
+/// differential fuzz harness so every implementation's source path is
+/// covered by bitwise comparison.
+[[nodiscard]] core::AdvectionProblem mms_mixed_problem(int n,
+                                                       double nu_fraction);
+
+}  // namespace advect::verify

@@ -1,0 +1,36 @@
+#pragma once
+/// \file schedule.hpp
+/// Schedule-exploration mode (docs/VERIFICATION.md "Schedule exploration"):
+/// re-run one implementation under seeded dependency-respecting
+/// permutations of the plan executor's ready-task issue order
+/// (SolverConfig::schedule_seed) and prove the executed state is invariant —
+/// the dependency edges, not the incidental FIFO plan order, carry the
+/// correctness of every overlap schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impl/config.hpp"
+
+namespace advect::verify {
+
+struct ScheduleReport {
+    std::string impl_id;
+    int seeds_run = 0;
+    /// Seeds whose permuted run diverged bitwise from plan-order issue.
+    std::vector<unsigned> divergent;
+    [[nodiscard]] bool ok() const { return divergent.empty(); }
+};
+
+/// Run `impl_id` once in plan order (schedule_seed = 0), then once per seed
+/// with the issue order permuted, asserting bitwise state equality each
+/// time. `cfg.schedule_seed` is overridden per run.
+[[nodiscard]] ScheduleReport explore_schedules(
+    const std::string& impl_id, impl::SolverConfig cfg,
+    const std::vector<unsigned>& seeds);
+
+/// Format a report as a single summary line.
+[[nodiscard]] std::string format_report(const ScheduleReport& report);
+
+}  // namespace advect::verify

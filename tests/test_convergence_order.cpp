@@ -1,0 +1,74 @@
+/// \file test_convergence_order.cpp
+/// Hard convergence-order gates (docs/VERIFICATION.md "Order gates"): the
+/// observed order on the manufactured-solution refinement ladder
+/// {16, 32, 64}^3 must sit within 0.2 of the scheme's formal order 2, for a
+/// CPU, an MPI, and a GPU implementation, each at fuse 1 and fuse 4. The
+/// source hook is threaded through every execution path (reference loop,
+/// host stencil tasks, fused ring pipeline, GPU kernels), so a sign error,
+/// a mis-leveled source add, or a fused ghost-zone bug shows up here as an
+/// order collapse even when the implementations still agree bitwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "verify/convergence.hpp"
+
+namespace verify = advect::verify;
+
+namespace {
+
+struct GateCase {
+    const char* impl;
+    int fuse;
+};
+
+class OrderGate : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(OrderGate, ObservedOrderIsSecond) {
+    const auto [impl, fuse] = GetParam();
+    const auto study = verify::convergence_study(impl, fuse);
+    ASSERT_EQ(study.points.size(), 3u);
+    // Errors must actually shrink down the ladder (guards against a
+    // vacuous gate where the error saturates at roundoff or blows up).
+    for (std::size_t i = 1; i < study.points.size(); ++i) {
+        EXPECT_LT(study.points[i].error.l2, study.points[i - 1].error.l2);
+        EXPECT_GT(study.points[i].error.l2, 1e-12);
+    }
+    EXPECT_NEAR(study.order_l2, 2.0, 0.2) << verify::format_study(study);
+    EXPECT_NEAR(study.order_linf, 2.0, 0.2) << verify::format_study(study);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImplAndFuse, OrderGate,
+    ::testing::Values(GateCase{"single_task", 1}, GateCase{"single_task", 4},
+                      GateCase{"mpi_nonblocking", 1},
+                      GateCase{"mpi_nonblocking", 4},
+                      GateCase{"gpu_resident", 1},
+                      GateCase{"gpu_resident", 4},
+                      // The hybrid box implementation needs box >= fuse;
+                      // fuse 2 is the deepest a 16^3 coarse rung carries.
+                      GateCase{"cpu_gpu_overlap", 2}),
+    [](const ::testing::TestParamInfo<GateCase>& info) {
+        return std::string(info.param.impl) + "_fuse" +
+               std::to_string(info.param.fuse);
+    });
+
+// The mixed problem (Gaussian wave + manufactured source) still converges:
+// superposition holds for the linear scheme, so the source must not
+// degrade transport accuracy. The sigma = 0.08 wave is only marginally
+// resolved on the 16^3 rung, so the gate here is looser than the pure-MMS
+// gates above: errors shrink monotonically and the finest-pair order is
+// second within 0.35.
+TEST(OrderGateMixed, MixedProblemConverges) {
+    verify::StudyParams params;
+    params.mixed = true;
+    const auto study = verify::convergence_study("single_task", 1, params);
+    ASSERT_EQ(study.points.size(), 3u);
+    for (std::size_t i = 1; i < study.points.size(); ++i)
+        EXPECT_LT(study.points[i].error.l2, study.points[i - 1].error.l2)
+            << verify::format_study(study);
+    EXPECT_NEAR(study.order_l2, 2.0, 0.35) << verify::format_study(study);
+}
+
+}  // namespace

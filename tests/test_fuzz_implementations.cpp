@@ -1,85 +1,129 @@
-// Randomized cross-implementation equivalence: draw random problem shapes,
-// velocities, nu values, task/thread counts, GPU blocks and box
-// thicknesses; run a random pair of implementations; assert bitwise
-// equality. Also mutation tests proving the equality oracle can fail: a
-// corrupted coefficient or a skipped exchange must be detected — guarding
-// the whole suite against vacuously-true comparisons.
+/// \file test_fuzz_implementations.cpp
+/// Differential fuzzing over impl x fuse x transport x chaos
+/// (docs/VERIFICATION.md): the committed seed corpus (fuzz_corpus.txt)
+/// expands into full configurations via advect::verify::sample_case and
+/// runs every applicable oracle — all-nine bitwise agreement with the
+/// reference, conservation of the periodic integral, the discrete max
+/// principle at Courant 1, socket-transport parity, chaos recovery, and
+/// seeded schedule permutations. Any failure message carries the
+/// standalone single-line reproducer.
+///
+/// Also: mutation tests proving the bitwise oracle can fail (guarding the
+/// suite against vacuously-true comparisons), and the chaos-drop-recovery
+/// equivalence pinned explicitly on BOTH transports.
+///
+/// This binary forks worker processes for the socket-transport legs — keep
+/// it out of any TSan/ASan job list, like test_transport.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <random>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "core/decomposition.hpp"
+#include "chaos/scenario.hpp"
 #include "core/halo.hpp"
 #include "core/problem.hpp"
 #include "core/stencil.hpp"
-#include "impl/registry.hpp"
+#include "impl/launch.hpp"
+#include "verify/fuzz.hpp"
 
+namespace chaos = advect::chaos;
 namespace core = advect::core;
 namespace impl = advect::impl;
+namespace verify = advect::verify;
 
 namespace {
 
-class FuzzEquivalence : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(FuzzEquivalence, RandomConfigMatchesReference) {
-    std::mt19937 rng(GetParam() * 2654435761u + 17);
-    std::uniform_int_distribution<int> ndist(10, 20);
-    std::uniform_int_distribution<int> steps_dist(2, 5);
-    std::uniform_int_distribution<int> tasks_dist(1, 6);
-    std::uniform_int_distribution<int> threads_dist(1, 3);
-    std::uniform_real_distribution<double> vel(-1.5, 1.5);
-    std::uniform_real_distribution<double> nu_frac(0.3, 1.0);
-
-    impl::SolverConfig cfg;
-    cfg.problem.domain.n = ndist(rng);
-    core::Velocity3 c{vel(rng), vel(rng), vel(rng)};
-    if (c.max_abs() < 0.1) c.cx = 1.0;  // avoid the degenerate zero flow
-    cfg.problem.velocity = c;
-    cfg.problem.nu = nu_frac(rng) * core::max_stable_nu(c);
-    cfg.steps = steps_dist(rng);
-    cfg.ntasks = tasks_dist(rng);
-    cfg.threads_per_task = threads_dist(rng);
-    cfg.block_x = 1 << std::uniform_int_distribution<int>(1, 3)(rng);
-    cfg.block_y = 1 << std::uniform_int_distribution<int>(1, 2)(rng);
-    cfg.box_thickness = 1;
-    cfg.tasks_per_gpu =
-        std::uniform_int_distribution<int>(1, cfg.ntasks)(rng);
-
-    const auto reference = core::run_reference(cfg.problem, cfg.steps);
-    // One CPU-MPI implementation and one GPU implementation per seed.
-    impl::SolveResult (*const cpu_solvers[])(const impl::SolverConfig&) = {
-        &impl::solve_mpi_bulk, &impl::solve_mpi_nonblocking,
-        &impl::solve_mpi_thread_overlap};
-    impl::SolveResult (*const gpu_solvers[])(const impl::SolverConfig&) = {
-        &impl::solve_gpu_mpi_bulk, &impl::solve_gpu_mpi_streams,
-        &impl::solve_cpu_gpu_bulk, &impl::solve_cpu_gpu_overlap};
-    const auto cpu_result =
-        cpu_solvers[GetParam() % 3](cfg);
-    EXPECT_TRUE(cpu_result.state.interior_equals(reference))
-        << "cpu solver mismatch, n=" << cfg.problem.domain.n
-        << " tasks=" << cfg.ntasks;
-    // The box implementations need every local extent >= 3 (a box of
-    // thickness 1 around a non-empty block); fall back to the F/G solvers
-    // when the random decomposition is too fine.
-    const auto decomp = core::make_decomposition(cfg.problem.domain.extents(),
-                                                 cfg.ntasks);
-    int min_extent = 1 << 30;
-    for (int r = 0; r < decomp.nranks(); ++r) {
-        const auto e = decomp.local_extents(r);
-        min_extent = std::min({min_extent, e.nx, e.ny, e.nz});
+std::vector<std::uint64_t> corpus_seeds() {
+    std::vector<std::uint64_t> seeds;
+    std::ifstream in(ADVECT_FUZZ_CORPUS);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        seeds.push_back(std::stoull(line.substr(first)));
     }
-    const unsigned gpu_pick =
-        min_extent >= 3 ? GetParam() % 4 : GetParam() % 2;
-    const auto gpu_result = gpu_solvers[gpu_pick](cfg);
-    EXPECT_TRUE(gpu_result.state.interior_equals(reference))
-        << "gpu solver mismatch, n=" << cfg.problem.domain.n
-        << " tasks=" << cfg.ntasks << " block=" << cfg.block_x << "x"
-        << cfg.block_y;
+    return seeds;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence, ::testing::Range(0u, 16u));
+TEST(FuzzCorpus, CorpusFileIsReadable) {
+    const auto seeds = corpus_seeds();
+    ASSERT_GE(seeds.size(), 32u) << "corpus at " << ADVECT_FUZZ_CORPUS;
+}
+
+class FuzzCorpusCase : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCorpusCase, AllOraclesHold) {
+    const auto c = verify::sample_case(GetParam());
+    const auto out = verify::run_case(c);
+    EXPECT_GT(out.checks, 0) << verify::describe(c);
+    for (const auto& f : out.failures)
+        ADD_FAILURE() << f << "\n  config: " << verify::describe(c)
+                      << "\n  reproduce: " << verify::reproducer(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpusCase,
+                         ::testing::ValuesIn(corpus_seeds()));
+
+// ---------------------------------------------------------------------------
+// Chaos drop-recovery equivalence, pinned explicitly on both transports:
+// dropped messages are retransmitted after receiver timeouts, and the
+// recovered state must be bitwise equal to the fault-free run — whether
+// ranks are threads over the in-process mailbox or forked processes on the
+// socket mesh.
+
+class DropRecovery : public ::testing::TestWithParam<impl::TransportKind> {};
+
+TEST_P(DropRecovery, RecoveredStateBitwiseEqualsFaultFree) {
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(14);
+    cfg.steps = 4;
+    cfg.ntasks = 4;
+    cfg.threads_per_task = 2;
+    const auto fault_free = core::run_reference(cfg.problem, cfg.steps);
+
+    const auto plan = chaos::message_drops(0.4, 2026);
+    for (const char* id : {"mpi_nonblocking", "gpu_mpi_bulk"}) {
+        impl::LaunchOptions opts;
+        opts.transport = GetParam();
+        opts.fault_plan = &plan;
+        const auto rep = impl::launch_solver(id, cfg, opts);
+        EXPECT_FALSE(rep.fault_log.empty())
+            << id << ": drop plan injected nothing (vacuous recovery test)";
+        EXPECT_TRUE(rep.result.state.interior_equals(fault_free))
+            << id << " on " << impl::transport_name(GetParam())
+            << ": recovered state differs from fault-free";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DropRecovery,
+                         ::testing::Values(impl::TransportKind::InProcess,
+                                           impl::TransportKind::Socket),
+                         [](const auto& info) {
+                             return std::string(
+                                 impl::transport_name(info.param));
+                         });
+
+// Fused drop recovery: deeper halos mean bigger (and fewer) messages; the
+// retransmission path must restore them identically too.
+TEST(DropRecovery, FusedRunRecoversBitwise) {
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(14);
+    cfg.steps = 4;
+    cfg.ntasks = 2;
+    cfg.threads_per_task = 2;
+    cfg.fuse = 2;
+    const auto fault_free = core::run_reference(cfg.problem, cfg.steps);
+    const auto plan = chaos::message_drops(0.5, 7);
+    impl::LaunchOptions opts;
+    opts.fault_plan = &plan;
+    const auto rep = impl::launch_solver("mpi_bulk", cfg, opts);
+    EXPECT_TRUE(rep.result.state.interior_equals(fault_free));
+}
 
 // ---------------------------------------------------------------------------
 // Mutation tests: prove the oracle discriminates.
@@ -119,6 +163,19 @@ TEST(Mutation, SinglePointPerturbationIsDetected) {
     ASSERT_TRUE(a.interior_equals(b));
     b(5, 7, 3) += 1e-13;  // one ulp-scale poke, one point
     EXPECT_FALSE(a.interior_equals(b));
+}
+
+// A mis-leveled source add (off by one step) must be detectable: the
+// manufactured increment moves between adjacent levels, so evaluating Q at
+// the wrong time cannot cancel out.
+TEST(Mutation, MisleveledSourceIsDetected) {
+    core::AdvectionProblem p;
+    p.domain.n = 12;
+    p.velocity = {1.0, 0.5, 0.25};
+    p.nu = 0.5 * core::max_stable_nu(p.velocity);
+    p.source.amp = 1.0;
+    const auto sf = core::make_source_field(p);
+    EXPECT_NE(sf.q(3, 4, 5, 1), sf.q(3, 4, 5, 2));
 }
 
 }  // namespace

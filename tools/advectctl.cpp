@@ -60,6 +60,10 @@
 #include "trace/export.hpp"
 #include "trace/span.hpp"
 #include "tune/tuner.hpp"
+#include "verify/convergence.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/mms.hpp"
+#include "verify/schedule.hpp"
 
 namespace core = advect::core;
 namespace impl = advect::impl;
@@ -489,10 +493,98 @@ int cmd_impls() {
     return 0;
 }
 
+// --------------------------------------------------------------------------
+// advectctl verify: the docs/VERIFICATION.md entry points.
+
+int cmd_verify_norms(int argc, char** argv) {
+    const std::string id = argc > 0 ? argv[0] : "single_task";
+    const int n = argc > 1 ? std::atoi(argv[1]) : 32;
+    const int steps = argc > 2 ? std::atoi(argv[2]) : 16;
+    const int fuse = argc > 3 ? std::atoi(argv[3]) : 1;
+    impl::SolverConfig cfg;
+    cfg.problem = advect::verify::mms_problem(n);
+    cfg.steps = steps;
+    cfg.fuse = fuse;
+    cfg.ntasks = impl::find_implementation(id).uses_mpi ? 2 : 1;
+    cfg.threads_per_task = 2;
+    const auto r = impl::find_implementation(id).solve(cfg);
+    std::printf(
+        "%s on the manufactured problem, n=%d steps=%d fuse=%d:\n"
+        "  L1 %.6e  L2 %.6e  Linf %.6e\n",
+        id.c_str(), n, steps, fuse, r.error.l1, r.error.l2, r.error.linf);
+    return 0;
+}
+
+int cmd_verify_order(int argc, char** argv) {
+    const std::string id = argc > 0 ? argv[0] : "single_task";
+    const int fuse = argc > 1 ? std::atoi(argv[1]) : 1;
+    const auto study = advect::verify::convergence_study(id, fuse);
+    std::printf("%s", advect::verify::format_study(study).c_str());
+    return 0;
+}
+
+int cmd_verify_fuzz(int argc, char** argv) {
+    std::uint64_t seed = 0;
+    int count = 1;
+    for (int i = 0; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        if (flag == "--seed")
+            seed = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (flag == "--count")
+            count = std::atoi(argv[i + 1]);
+        else {
+            std::fprintf(stderr, "verify fuzz: unknown flag '%s'\n",
+                         flag.c_str());
+            return 2;
+        }
+    }
+    const auto summary = advect::verify::run_campaign(seed, count, true);
+    return summary.ok() ? 0 : 1;
+}
+
+int cmd_verify_schedule(int argc, char** argv) {
+    const std::string id = argc > 0 ? argv[0] : "mpi_nonblocking";
+    const int n = argc > 1 ? std::atoi(argv[1]) : 14;
+    const int steps = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int tasks = argc > 3 ? std::atoi(argv[3]) : 3;
+    const int nseeds = argc > 4 ? std::atoi(argv[4]) : 8;
+    impl::SolverConfig cfg;
+    cfg.problem = core::AdvectionProblem::standard(n);
+    cfg.steps = steps;
+    cfg.ntasks = tasks;
+    cfg.threads_per_task = 2;
+    std::vector<unsigned> seeds;
+    for (int i = 0; i < nseeds; ++i)
+        seeds.push_back(static_cast<unsigned>(i) * 2654435761u + 17u);
+    const auto report = advect::verify::explore_schedules(id, cfg, seeds);
+    std::printf("%s", advect::verify::format_report(report).c_str());
+    return report.ok() ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+    if (argc < 1) {
+        std::fprintf(
+            stderr,
+            "usage: advectctl verify <norms|order|fuzz|schedule> [args...]\n"
+            "  norms    [impl] [n] [steps] [fuse]\n"
+            "  order    [impl] [fuse]\n"
+            "  fuzz     [--seed N] [--count M]\n"
+            "  schedule [impl] [n] [steps] [tasks] [nseeds]\n");
+        return 2;
+    }
+    const std::string sub = argv[0];
+    if (sub == "norms") return cmd_verify_norms(argc - 1, argv + 1);
+    if (sub == "order") return cmd_verify_order(argc - 1, argv + 1);
+    if (sub == "fuzz") return cmd_verify_fuzz(argc - 1, argv + 1);
+    if (sub == "schedule") return cmd_verify_schedule(argc - 1, argv + 1);
+    std::fprintf(stderr, "verify: unknown subcommand '%s'\n", sub.c_str());
+    return 2;
+}
+
 void usage() {
     std::fprintf(stderr,
                  "usage: advectctl <solve|trace|chaos|launch|plan|model|tune|"
-                 "scaling|gantt|machines|impls> [args...]\n"
+                 "scaling|gantt|verify|machines|impls> [args...]\n"
                  "  solve   [impl] [n] [steps] [tasks] [threads]\n"
                  "  trace   [impl] [n] [steps] [tasks] [threads] [out.json]\n"
                  "  chaos   [scenario] [impl] [x] [seed] [n] [steps] [tasks]"
@@ -506,7 +598,8 @@ void usage() {
                  "  model   [machine] [impl] [nodes] [threads] [box]\n"
                  "  tune    [machine] [nodes]\n"
                  "  scaling [machine] [impl]\n"
-                 "  gantt   [machine] [impl] [nodes] [threads]\n");
+                 "  gantt   [machine] [impl] [nodes] [threads]\n"
+                 "  verify  <norms|order|fuzz|schedule> [args...]\n");
 }
 
 }  // namespace
@@ -527,6 +620,7 @@ int main(int argc, char** argv) {
         if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
         if (cmd == "scaling") return cmd_scaling(argc - 2, argv + 2);
         if (cmd == "gantt") return cmd_gantt(argc - 2, argv + 2);
+        if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
         if (cmd == "machines") return cmd_machines();
         if (cmd == "impls") return cmd_impls();
     } catch (const std::exception& e) {
